@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§5) from the simulated testbed.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run all -scale 0.1
+//	experiments -run fig15,fig17 -scale 1.0     # full-length sessions
+//
+// Scale multiplies session durations only; client counts, think times and
+// service demands stay at paper values, so saturation points are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		runID = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale = flag.Float64("scale", 0.1, "session duration scale (1.0 = full paper sessions)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All {
+			fmt.Printf("%-6s %s\n", s.ID, s.Title)
+		}
+		return nil
+	}
+
+	var specs []*experiments.Spec
+	if *runID == "all" {
+		for i := range experiments.All {
+			specs = append(specs, &experiments.All[i])
+		}
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			s := experiments.ByID(strings.TrimSpace(id))
+			if s == nil {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	for _, s := range specs {
+		start := time.Now()
+		tbl, err := s.Run(*scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.ID, err)
+		}
+		fmt.Println(tbl.Render())
+		fmt.Printf("(%s took %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

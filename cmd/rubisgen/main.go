@@ -1,0 +1,117 @@
+// Command rubisgen runs the simulated RUBiS testbed and writes its
+// TCP_TRACE activity log — the synthetic equivalent of collecting the
+// paper's kernel traces from the three-tier deployment of Fig. 7.
+//
+// Usage:
+//
+//	rubisgen -clients 500 -mix browse -scale 0.1 -o trace.log
+//	rubisgen -clients 800 -noise -skew 500ms -truth -o trace.log
+//
+// With -truth the log lines carry "# req=N msg=M" ground-truth annotations
+// (the paper's modified-RUBiS request IDs) so precisetracer -accuracy can
+// score itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/rubis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rubisgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		clients    = flag.Int("clients", 300, "concurrent emulated clients (paper: 100-1000)")
+		mix        = flag.String("mix", "browse", "workload mix: browse | default")
+		scale      = flag.Float64("scale", 0.05, "session duration scale (1.0 = paper's 2min+7.5min+1min)")
+		maxThreads = flag.Int("maxthreads", 40, "JBoss MaxThreads (paper default 40; fix is 250)")
+		noise      = flag.Bool("noise", false, "run rlogin/ssh/MySQL-client noise generators (§5.3.3)")
+		skew       = flag.Duration("skew", 0, "max pairwise clock skew across traced nodes (§5.2: 1ms-500ms)")
+		drift      = flag.Float64("drift", 0, "clock drift in ppm")
+		seed       = flag.Int64("seed", 1, "deterministic run seed")
+		truth      = flag.Bool("truth", false, "append ground-truth annotations to each record")
+		out        = flag.String("o", "-", "output file (- for stdout)")
+		splitDir   = flag.String("splitdir", "", "write per-host logs (<host>.trace) into this directory instead of one merged file")
+		gz         = flag.Bool("gzip", false, "gzip per-host logs (with -splitdir)")
+		ejbDelay   = flag.Duration("fault-ejb-delay", 0, "inject a random delay (this mean) into the second tier")
+		dbLock     = flag.Bool("fault-db-lock", false, "lock the items table (serialise its queries)")
+		netFault   = flag.Bool("fault-ejb-net", false, "degrade the app node NIC to 10 Mbps")
+	)
+	flag.Parse()
+
+	cfg := rubis.DefaultConfig(*clients)
+	cfg.Scale = *scale
+	cfg.MaxThreads = *maxThreads
+	cfg.Noise = *noise
+	cfg.Seed = *seed
+	cfg.Skew.MaxSkew = *skew
+	cfg.Skew.DriftPPM = *drift
+	switch *mix {
+	case "browse":
+		cfg.Mix = rubis.BrowseOnly
+	case "default":
+		cfg.Mix = rubis.Default
+	default:
+		return fmt.Errorf("unknown mix %q (browse|default)", *mix)
+	}
+	cfg.Faults.EJBDelay = *ejbDelay
+	cfg.Faults.DBLock = *dbLock
+	if *dbLock {
+		cfg.Faults.DBLockHold = 4 * time.Millisecond
+	}
+	if *netFault {
+		cfg.Faults.AppNetBandwidth = 1_250_000
+	}
+
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *splitDir != "" {
+		if err := activity.WriteHostLogs(*splitDir, res.PerHost, *truth, *gz); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr,
+			"rubisgen: %d clients (%s), %d requests, %d activities (%d noise) -> %s/<host>.trace\n",
+			*clients, cfg.Mix, res.Metrics.TotalCompleted, len(res.Trace), res.NoiseActivities, *splitDir)
+		return nil
+	}
+
+	var f *os.File
+	if *out == "-" {
+		f = os.Stdout
+	} else {
+		f, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	w := activity.NewWriter(f, *truth)
+	for _, a := range res.Trace {
+		if err := w.Write(a); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"rubisgen: %d clients (%s), %d requests completed, throughput %.1f req/s, avg RT %v\n",
+		*clients, cfg.Mix, res.Metrics.TotalCompleted, res.Metrics.Throughput(),
+		res.Metrics.AvgResponseTime().Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "rubisgen: wrote %d activities (%d noise) to %s\n",
+		w.Count(), res.NoiseActivities, *out)
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package repro is a from-scratch Go reproduction of "Precise Request
+// Tracing and Performance Debugging for Multi-tier Services of Black
+// Boxes" (Zhang, Zhihong; Zhan, Jianfeng; Li, Yong; Wang, Lei; Meng, Dan;
+// Sang, Bo — DSN 2009): the PreciseTracer system.
+//
+// The library derives exact per-request causal paths (Component Activity
+// Graphs) for multi-tier services treated as black boxes, using only
+// application-independent kernel observations: timestamps, end-to-end TCP
+// channels and process/thread contexts. On top of the CAGs it implements
+// the paper's performance-debugging workflow — causal path patterns,
+// average paths, and component latency percentages.
+//
+// Layout:
+//
+//	internal/core        Correlator façade (the public entry point)
+//	internal/ranker      candidate selection: sliding window, Rule 1/2,
+//	                     is_noise, concurrency-disturbance swap (§4.1, §4.3)
+//	internal/engine      CAG construction: mmap/cmap, n-to-n SEND/RECEIVE
+//	                     merging, thread-reuse check (§4.2)
+//	internal/cag         the CAG abstraction, patterns, aggregation,
+//	                     latency breakdown (§3.2)
+//	internal/activity    activity model and TCP_TRACE wire format (§3.1)
+//	internal/analysis    latency percentages, cross-run diffs, automated
+//	                     bottleneck detector (§5.4, §7)
+//	internal/baseline    naive and WAP5-style comparators (§6)
+//	internal/testbed     simulated cluster standing in for the paper's
+//	                     SystemTap-instrumented 8-node testbed (§5.1)
+//	internal/rubis       the RUBiS-like three-tier workload (§5.1)
+//	internal/experiments drivers regenerating every table/figure of §5
+//	internal/groundtruth the §5.2 path-accuracy methodology
+//
+// Binaries: cmd/rubisgen (generate traces), cmd/precisetracer (offline
+// correlator CLI), cmd/experiments (regenerate the evaluation). Runnable
+// walk-throughs live under examples/.
+package repro

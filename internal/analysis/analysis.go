@@ -1,0 +1,215 @@
+// Package analysis turns CAGs into the performance-debugging views of §5.4:
+// per-pattern average causal paths, component latency percentages (Fig. 15,
+// Fig. 17), cross-run comparisons, and an automated bottleneck detector —
+// the "mathematical foundation for automatic performance debugging" the
+// paper names as future work (§7).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cag"
+)
+
+// ComponentShare is one category's contribution to an average causal path.
+type ComponentShare struct {
+	// Category is the paper's component label: "P2P" for computation
+	// inside program P, "P2Q" for the interaction from P to Q.
+	Category string
+	Mean     time.Duration
+	Percent  float64
+}
+
+// PatternReport is the latency view of one causal path pattern.
+type PatternReport struct {
+	Name        string
+	Signature   string
+	Count       int
+	MeanLatency time.Duration
+	Shares      []ComponentShare
+}
+
+// Share returns the named category's share (zero value when absent).
+func (p *PatternReport) Share(category string) ComponentShare {
+	for _, s := range p.Shares {
+		if s.Category == category {
+			return s
+		}
+	}
+	return ComponentShare{Category: category}
+}
+
+// Categories returns the category names in display order.
+func (p *PatternReport) Categories() []string {
+	out := make([]string, len(p.Shares))
+	for i, s := range p.Shares {
+		out[i] = s.Category
+	}
+	return out
+}
+
+// String implements fmt.Stringer: a one-line latency-percentage view.
+func (p *PatternReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s n=%d mean=%v:", p.Name, p.Count, p.MeanLatency.Round(time.Microsecond))
+	for _, s := range p.Shares {
+		fmt.Fprintf(&b, " %s=%.1f%%", s.Category, s.Percent)
+	}
+	return b.String()
+}
+
+// reportFromAverage converts an aggregated average path into a report with
+// deterministic category ordering (first-tier to third-tier reading order,
+// then alphabetical for anything unanticipated).
+func reportFromAverage(avg *cag.AveragePath) *PatternReport {
+	cats := make([]string, 0, len(avg.Components))
+	for c := range avg.Components {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		oi, oj := categoryRank(cats[i]), categoryRank(cats[j])
+		if oi != oj {
+			return oi < oj
+		}
+		return cats[i] < cats[j]
+	})
+	rep := &PatternReport{
+		Name:        avg.Name,
+		Signature:   avg.Signature,
+		Count:       avg.Count,
+		MeanLatency: avg.MeanLatency,
+	}
+	for _, c := range cats {
+		rep.Shares = append(rep.Shares, ComponentShare{
+			Category: c,
+			Mean:     avg.Components[c],
+			Percent:  avg.Percent(c),
+		})
+	}
+	return rep
+}
+
+// categoryRank orders the paper's seven RUBiS categories the way Fig. 15
+// and Fig. 17 list them; unknown categories sort after.
+func categoryRank(cat string) int {
+	order := []string{
+		"httpd2httpd", "httpd2java", "java2httpd", "java2java",
+		"java2mysqld", "mysqld2java", "mysqld2mysqld",
+	}
+	for i, o := range order {
+		if cat == o {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// Report classifies the CAGs into patterns and produces one latency report
+// per pattern, most frequent first.
+func Report(graphs []*cag.Graph) ([]*PatternReport, error) {
+	patterns := cag.Classify(graphs)
+	out := make([]*PatternReport, 0, len(patterns))
+	for _, p := range patterns {
+		avg, err := cag.Aggregate(p.Graphs)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate pattern %q: %w", p.Name, err)
+		}
+		out = append(out, reportFromAverage(avg))
+	}
+	return out, nil
+}
+
+// DominantPattern returns the report of the most frequent pattern with at
+// least minVertices activities — §5.4.1 analyses "the most frequent request
+// ViewItem", which in black-box terms is the most frequent multi-tier
+// pattern. Pass minVertices=3 to skip static (BEGIN→END) paths; 0 accepts
+// everything.
+func DominantPattern(graphs []*cag.Graph, minVertices int) (*PatternReport, error) {
+	patterns := cag.Classify(graphs)
+	for _, p := range patterns {
+		if p.Graphs[0].Len() >= minVertices {
+			avg, err := cag.Aggregate(p.Graphs)
+			if err != nil {
+				return nil, err
+			}
+			return reportFromAverage(avg), nil
+		}
+	}
+	return nil, fmt.Errorf("analysis: no pattern with >= %d vertices among %d patterns", minVertices, len(patterns))
+}
+
+// Comparison is a side-by-side latency-percentage view of one pattern
+// across runs (the columns of Fig. 15 / bars of Fig. 17).
+type Comparison struct {
+	Categories []string
+	// Percent[i][j] is run i's latency percentage for Categories[j].
+	Percent [][]float64
+	// Labels names the runs (e.g. "client=500").
+	Labels []string
+}
+
+// Compare aligns reports (usually of the same pattern from different runs)
+// on the union of their categories.
+func Compare(labels []string, reports []*PatternReport) *Comparison {
+	seen := make(map[string]bool)
+	var cats []string
+	for _, r := range reports {
+		for _, s := range r.Shares {
+			if !seen[s.Category] {
+				seen[s.Category] = true
+				cats = append(cats, s.Category)
+			}
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		oi, oj := categoryRank(cats[i]), categoryRank(cats[j])
+		if oi != oj {
+			return oi < oj
+		}
+		return cats[i] < cats[j]
+	})
+	cmp := &Comparison{Categories: cats, Labels: labels}
+	for _, r := range reports {
+		row := make([]float64, len(cats))
+		for j, c := range cats {
+			row[j] = r.Share(c).Percent
+		}
+		cmp.Percent = append(cmp.Percent, row)
+	}
+	return cmp
+}
+
+// Table renders the comparison as an aligned text table (rows=categories);
+// column widths adapt to the labels.
+func (c *Comparison) Table() string {
+	var b strings.Builder
+	catW := len("component")
+	for _, cat := range c.Categories {
+		if len(cat) > catW {
+			catW = len(cat)
+		}
+	}
+	widths := make([]int, len(c.Labels))
+	for i, l := range c.Labels {
+		widths[i] = len(l)
+		if widths[i] < 8 {
+			widths[i] = 8
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", catW, "component")
+	for i, l := range c.Labels {
+		fmt.Fprintf(&b, "  %*s", widths[i], l)
+	}
+	b.WriteByte('\n')
+	for j, cat := range c.Categories {
+		fmt.Fprintf(&b, "%-*s", catW, cat)
+		for i := range c.Percent {
+			fmt.Fprintf(&b, "  %*.1f%%", widths[i]-1, c.Percent[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

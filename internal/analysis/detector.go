@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Finding is one suspicious latency-share shift between a reference run and
+// a suspect run.
+type Finding struct {
+	Category    string
+	BasePercent float64
+	NowPercent  float64
+	DeltaPoints float64
+	// Suspect is the inferred component or interaction at fault.
+	Suspect string
+	// Reason is a human-readable §5.4-style diagnosis.
+	Reason string
+}
+
+// Detector automates the manual reasoning of §5.4: compare a suspect run's
+// component latency percentages against a healthy reference and flag the
+// components whose share shifted by more than ThresholdPoints percentage
+// points. This is the paper's stated future work ("mathematical foundation
+// for automatic performance debugging") in its simplest useful form.
+type Detector struct {
+	// ThresholdPoints is the minimum percentage-point increase that counts
+	// as suspicious (default 8).
+	ThresholdPoints float64
+}
+
+// Diagnose compares the suspect report to the reference and returns
+// findings ordered by decreasing shift.
+func (d Detector) Diagnose(reference, suspect *PatternReport) []Finding {
+	threshold := d.ThresholdPoints
+	if threshold <= 0 {
+		threshold = 8
+	}
+	cats := make(map[string]bool)
+	for _, s := range reference.Shares {
+		cats[s.Category] = true
+	}
+	for _, s := range suspect.Shares {
+		cats[s.Category] = true
+	}
+	var out []Finding
+	for c := range cats {
+		base := reference.Share(c).Percent
+		now := suspect.Share(c).Percent
+		delta := now - base
+		if delta < threshold {
+			continue
+		}
+		f := Finding{
+			Category:    c,
+			BasePercent: base,
+			NowPercent:  now,
+			DeltaPoints: delta,
+		}
+		f.Suspect, f.Reason = interpret(c, base, now)
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DeltaPoints != out[j].DeltaPoints {
+			return out[i].DeltaPoints > out[j].DeltaPoints
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// interpret maps a category shift to the component the paper's reasoning
+// would blame: "P2P" growth points at program P itself; "P2Q" growth points
+// at the interaction — Q's input path (queueing before Q reads) or the
+// network between them.
+func interpret(category string, base, now float64) (suspect, reason string) {
+	from, to, ok := splitCategory(category)
+	if !ok {
+		return category, fmt.Sprintf("latency share rose from %.1f%% to %.1f%%", base, now)
+	}
+	if from == to {
+		return from, fmt.Sprintf(
+			"time spent inside %s grew from %.1f%% to %.1f%% of the request: %s's own processing is the bottleneck",
+			from, base, now, from)
+	}
+	return from + "->" + to, fmt.Sprintf(
+		"the %s->%s interaction grew from %.1f%% to %.1f%%: suspect queueing before %s reads (thread/connection pool) or the network between %s and %s",
+		from, to, base, now, to, from, to)
+}
+
+func splitCategory(category string) (from, to string, ok bool) {
+	i := strings.Index(category, "2")
+	if i <= 0 || i >= len(category)-1 {
+		return "", "", false
+	}
+	return category[:i], category[i+1:], true
+}
+
+// Summary renders findings for terminal output.
+func Summary(findings []Finding) string {
+	if len(findings) == 0 {
+		return "no component shifted beyond the threshold; the run looks healthy\n"
+	}
+	var b strings.Builder
+	for i, f := range findings {
+		fmt.Fprintf(&b, "%d. %-16s %+.1f points (%.1f%% -> %.1f%%): %s\n",
+			i+1, f.Category, f.DeltaPoints, f.BasePercent, f.NowPercent, f.Reason)
+	}
+	return b.String()
+}

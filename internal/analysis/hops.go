@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cag"
+	"repro/internal/stats"
+)
+
+// HopDistribution is the latency distribution of one component category
+// across many CAGs — the distributional extension of the paper's
+// mean-only latency percentages (tails localise intermittent problems that
+// averages smear).
+type HopDistribution struct {
+	Category string
+	Hist     *stats.Histogram
+}
+
+// HopDistributions builds per-category latency histograms over the
+// critical-path segments of the given CAGs (any mix of patterns). When est
+// is non-nil, timestamps are skew-corrected first; otherwise negative
+// cross-node latencies are clamped to zero.
+func HopDistributions(graphs []*cag.Graph, est *SkewEstimate) []*HopDistribution {
+	byCat := make(map[string]*stats.Histogram)
+	for _, g := range graphs {
+		for _, seg := range cag.Breakdown(g) {
+			h := byCat[seg.Category]
+			if h == nil {
+				h = stats.NewLatencyHistogram()
+				byCat[seg.Category] = h
+			}
+			d := seg.Latency
+			if est != nil {
+				d = est.Corrected(seg.To) - est.Corrected(seg.From)
+			}
+			if d < 0 {
+				d = 0
+			}
+			h.Add(d)
+		}
+	}
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		oi, oj := categoryRank(cats[i]), categoryRank(cats[j])
+		if oi != oj {
+			return oi < oj
+		}
+		return cats[i] < cats[j]
+	})
+	out := make([]*HopDistribution, 0, len(cats))
+	for _, c := range cats {
+		out = append(out, &HopDistribution{Category: c, Hist: byCat[c]})
+	}
+	return out
+}
+
+// HopTable renders the distributions as an aligned table with mean and
+// tail percentiles.
+func HopTable(dists []*HopDistribution) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s %8s\n", "component", "mean", "p50", "p95", "p99", "n")
+	for _, d := range dists {
+		fmt.Fprintf(&b, "%-16s %10v %10v %10v %10v %8d\n",
+			d.Category,
+			d.Hist.Mean().Round(time.Microsecond),
+			d.Hist.Percentile(0.50).Round(time.Microsecond),
+			d.Hist.Percentile(0.95).Round(time.Microsecond),
+			d.Hist.Percentile(0.99).Round(time.Microsecond),
+			d.Hist.N())
+	}
+	return b.String()
+}
+
+// Outlier is one unusually slow request with its dominant cost.
+type Outlier struct {
+	Graph       *cag.Graph
+	Latency     time.Duration
+	TopCategory string
+	TopLatency  time.Duration
+	TopPercent  float64
+}
+
+// String implements fmt.Stringer.
+func (o Outlier) String() string {
+	return fmt.Sprintf("latency=%v dominated by %s (%v, %.1f%%)",
+		o.Latency.Round(time.Microsecond), o.TopCategory,
+		o.TopLatency.Round(time.Microsecond), o.TopPercent)
+}
+
+// Outliers returns the k slowest CAGs with, for each, the category that
+// contributed the most latency — the "show me the worst requests and where
+// they spent their time" debugging workflow. A non-nil est corrects clock
+// skew before attributing cross-node hops (raw local timestamps can make a
+// skewed hop look dominant, §3.2's admitted inaccuracy).
+func Outliers(graphs []*cag.Graph, k int, est *SkewEstimate) []Outlier {
+	if k <= 0 || len(graphs) == 0 {
+		return nil
+	}
+	sorted := make([]*cag.Graph, len(graphs))
+	copy(sorted, graphs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Latency() > sorted[j].Latency() })
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := make([]Outlier, 0, k)
+	for _, g := range sorted[:k] {
+		o := Outlier{Graph: g, Latency: g.Latency()}
+		lats := cag.ComponentLatencies(g)
+		if est != nil {
+			lats = est.CorrectedComponentLatencies(g)
+		}
+		for cat, d := range lats {
+			if d > o.TopLatency {
+				o.TopLatency, o.TopCategory = d, cat
+			}
+		}
+		if o.Latency > 0 {
+			o.TopPercent = 100 * float64(o.TopLatency) / float64(o.Latency)
+		}
+		out = append(out, o)
+	}
+	return out
+}

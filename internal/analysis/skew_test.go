@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cag"
+	"repro/internal/core"
+	"repro/internal/rubis"
+)
+
+func skewedGraphs(t *testing.T, maxSkew time.Duration) ([]*PatternReport, *SkewEstimate) {
+	t.Helper()
+	cfg := rubis.DefaultConfig(80)
+	cfg.Scale = 0.01
+	cfg.Skew.MaxSkew = maxSkew
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.New(core.Options{
+		Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+	}).CorrelateTrace(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Report(out.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports, EstimateOffsets(out.Graphs, "web1")
+}
+
+func TestEstimateOffsetsRecoversSkew(t *testing.T) {
+	// The deployment spreads offsets across the three traced nodes:
+	// web1 = -max/2, app1 = 0, db1 = +max/2.
+	const maxSkew = 400 * time.Millisecond
+	_, est := skewedGraphs(t, maxSkew)
+	if est.Offsets["web1"] != 0 {
+		t.Fatalf("reference offset = %v", est.Offsets["web1"])
+	}
+	wantApp := 200 * time.Millisecond // app1 - web1
+	wantDB := 400 * time.Millisecond  // db1 - web1
+	tol := 12 * time.Millisecond      // estimator bias: half the minimal read lag
+	if d := est.Offsets["app1"] - wantApp; d < -tol || d > tol {
+		t.Fatalf("app1 offset = %v, want ~%v", est.Offsets["app1"], wantApp)
+	}
+	if d := est.Offsets["db1"] - wantDB; d < -tol || d > tol {
+		t.Fatalf("db1 offset = %v, want ~%v", est.Offsets["db1"], wantDB)
+	}
+}
+
+func TestEstimateOffsetsZeroSkew(t *testing.T) {
+	_, est := skewedGraphs(t, 0)
+	for host, off := range est.Offsets {
+		// The read-lag bias (see skew.go) leaves a few ms of residue.
+		if off < -8*time.Millisecond || off > 8*time.Millisecond {
+			t.Fatalf("%s offset = %v, want ~0", host, off)
+		}
+	}
+}
+
+func TestCorrectedLatenciesArePhysical(t *testing.T) {
+	// Under 400ms skew the raw cross-node interaction latencies are
+	// dominated by the offsets (some hugely positive, some negative);
+	// after correction every interaction latency must be a plausible
+	// transit time (positive, well under 50ms).
+	cfg := rubis.DefaultConfig(60)
+	cfg.Scale = 0.01
+	cfg.Skew.MaxSkew = 400 * time.Millisecond
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.New(core.Options{
+		Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+	}).CorrelateTrace(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateOffsets(out.Graphs, "web1")
+	checked := 0
+	for _, g := range out.Graphs {
+		if g.Len() < 3 {
+			continue
+		}
+		raw := cag.ComponentLatencies(g)
+		corr := est.CorrectedComponentLatencies(g)
+		// httpd2java raw latency includes -offset(web1->app1) = -200ms of
+		// error; corrected must be positive and small.
+		if d, ok := corr["httpd2java"]; ok {
+			if d <= 0 || d > 50*time.Millisecond {
+				t.Fatalf("corrected httpd2java = %v (raw %v)", d, raw["httpd2java"])
+			}
+			checked++
+		}
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no dynamic paths checked")
+	}
+	// Correction must preserve the end-to-end telescoping sum: BEGIN and
+	// END share a host, so their correction cancels.
+	for _, g := range out.Graphs {
+		var rawSum, corrSum time.Duration
+		for _, d := range cag.ComponentLatencies(g) {
+			rawSum += d
+		}
+		for _, d := range est.CorrectedComponentLatencies(g) {
+			corrSum += d
+		}
+		if rawSum != corrSum {
+			t.Fatalf("correction broke telescoping: %v vs %v", rawSum, corrSum)
+		}
+		break
+	}
+}
+
+func TestDominantPatternCorrected(t *testing.T) {
+	cfg := rubis.DefaultConfig(80)
+	cfg.Scale = 0.01
+	cfg.Skew.MaxSkew = 400 * time.Millisecond
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.New(core.Options{
+		Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+	}).CorrelateTrace(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateOffsets(out.Graphs, "web1")
+	raw, err := DominantPattern(out.Graphs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := DominantPatternCorrected(out.Graphs, 3, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw cross-node shares are skew-polluted (can exceed 100% or go
+	// negative); corrected shares must all be sane and sum to ~100%.
+	var sum float64
+	for _, s := range corr.Shares {
+		if s.Percent < -1 || s.Percent > 101 {
+			t.Fatalf("corrected share out of range: %+v", s)
+		}
+		sum += s.Percent
+	}
+	if sum < 95 || sum > 105 {
+		t.Fatalf("corrected shares sum to %.1f", sum)
+	}
+	// And the raw ones must demonstrably be polluted for this skew.
+	polluted := false
+	for _, s := range raw.Shares {
+		if s.Percent < 0 || s.Percent > 100 {
+			polluted = true
+		}
+	}
+	if !polluted {
+		t.Fatal("test premise broken: raw shares look clean under 400ms skew")
+	}
+	if corr.Count == 0 || corr.Name != raw.Name {
+		t.Fatalf("corrected report metadata: %+v", corr)
+	}
+}

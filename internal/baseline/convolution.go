@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/activity"
+)
+
+// Project5's "convolution algorithm" (§6.1, [3]) infers *aggregate* causal
+// delays in a black-box system by treating each component's inbound and
+// outbound message timestamps as time series and finding the lag that best
+// aligns them. It never reconstructs individual paths — which is exactly
+// the contrast the paper draws: aggregate inference is cheap and
+// instrumentation-free but probabilistic, while PreciseTracer recovers the
+// exact per-request path.
+//
+// This implementation estimates, per component (program), the delay
+// distribution between a message arriving at the component and the next
+// messages it emits, via a lag histogram (discretised cross-correlation):
+// for every outbound SEND, every inbound RECEIVE within MaxLag before it
+// votes for their time difference. The histogram's mode is the estimated
+// per-visit service delay.
+
+// ConvolutionConfig parametrises the estimator.
+type ConvolutionConfig struct {
+	// MaxLag bounds the considered in->out delay (default 200ms).
+	MaxLag time.Duration
+	// BinWidth is the histogram resolution (default 500µs).
+	BinWidth time.Duration
+}
+
+// ComponentDelay is one component's estimated service delay.
+type ComponentDelay struct {
+	Program string
+	// Mode is the histogram-peak delay (the "most common" in->out lag).
+	Mode time.Duration
+	// Support is the fraction of votes in the winning bin — low support
+	// means the signal is smeared by concurrency (the imprecision the
+	// paper's §6.1 describes).
+	Support float64
+	// Pairs is the total number of (in, out) votes considered.
+	Pairs int
+}
+
+// String implements fmt.Stringer.
+func (c ComponentDelay) String() string {
+	return fmt.Sprintf("%s: mode=%v support=%.3f pairs=%d", c.Program, c.Mode.Round(time.Microsecond), c.Support, c.Pairs)
+}
+
+// Convolution runs the aggregate estimator over a classified trace and
+// returns per-program delay estimates, sorted by program name.
+func Convolution(trace []*activity.Activity, cfg ConvolutionConfig) []ComponentDelay {
+	if cfg.MaxLag <= 0 {
+		cfg.MaxLag = 200 * time.Millisecond
+	}
+	if cfg.BinWidth <= 0 {
+		cfg.BinWidth = 500 * time.Microsecond
+	}
+	type series struct {
+		in  []time.Duration // RECEIVE/BEGIN timestamps
+		out []time.Duration // SEND/END timestamps
+	}
+	byProgram := make(map[string]*series)
+	get := func(p string) *series {
+		s := byProgram[p]
+		if s == nil {
+			s = &series{}
+			byProgram[p] = s
+		}
+		return s
+	}
+	for _, a := range trace {
+		switch a.Type {
+		case activity.Receive, activity.Begin:
+			s := get(a.Ctx.Program)
+			s.in = append(s.in, a.Timestamp)
+		case activity.Send, activity.End:
+			s := get(a.Ctx.Program)
+			s.out = append(s.out, a.Timestamp)
+		case activity.MaxType:
+		}
+	}
+
+	bins := int(cfg.MaxLag/cfg.BinWidth) + 1
+	var out []ComponentDelay
+	progs := make([]string, 0, len(byProgram))
+	for p := range byProgram {
+		progs = append(progs, p)
+	}
+	sort.Strings(progs)
+	for _, p := range progs {
+		s := byProgram[p]
+		sort.Slice(s.in, func(i, j int) bool { return s.in[i] < s.in[j] })
+		sort.Slice(s.out, func(i, j int) bool { return s.out[i] < s.out[j] })
+		hist := make([]int, bins)
+		pairs := 0
+		for _, to := range s.out {
+			// All inbound events within (to-MaxLag, to] vote.
+			lo := sort.Search(len(s.in), func(i int) bool { return s.in[i] > to-cfg.MaxLag })
+			for i := lo; i < len(s.in) && s.in[i] <= to; i++ {
+				bin := int((to - s.in[i]) / cfg.BinWidth)
+				if bin >= 0 && bin < bins {
+					hist[bin]++
+					pairs++
+				}
+			}
+		}
+		best, votes := 0, 0
+		for i, v := range hist {
+			if v > votes {
+				best, votes = i, v
+			}
+		}
+		cd := ComponentDelay{Program: p, Pairs: pairs}
+		if pairs > 0 {
+			cd.Mode = time.Duration(best)*cfg.BinWidth + cfg.BinWidth/2
+			cd.Support = float64(votes) / float64(pairs)
+		}
+		out = append(out, cd)
+	}
+	return out
+}
+
+// DelayFor returns the estimate for one program, if present.
+func DelayFor(delays []ComponentDelay, program string) (ComponentDelay, bool) {
+	for _, d := range delays {
+		if d.Program == program {
+			return d, true
+		}
+	}
+	return ComponentDelay{}, false
+}

@@ -1,0 +1,124 @@
+package cag
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Signature returns a canonical string identifying the graph's causal path
+// pattern. Per §3.2, "each causal path pattern is composed of a series of
+// isomorphic CAGs, where similar vertices represent activities of the same
+// type with the same context information". Context information is compared
+// at (host, program) granularity: PIDs and TIDs differ between requests of
+// the same pattern (different pool entities serve them), but the tier and
+// component do not.
+//
+// The signature encodes, per vertex in insertion order: the activity type,
+// host, program, and the indices and kinds of its parents. Because the
+// engine discovers vertices in causal order, two CAGs of the same request
+// shape produce identical signatures, and any structural difference (extra
+// DB query, different tier, missing edge) changes the signature.
+func Signature(g *Graph) string {
+	var b strings.Builder
+	b.Grow(g.Len() * 24)
+	for i, v := range g.vertices {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.Type.String())
+		b.WriteByte(':')
+		b.WriteString(v.Ctx.Host)
+		b.WriteByte('/')
+		b.WriteString(v.Ctx.Program)
+		if v.ctxParent != nil {
+			b.WriteString(":c")
+			b.WriteString(strconv.Itoa(v.ctxParent.index))
+		}
+		if v.msgParent != nil {
+			b.WriteString(":m")
+			b.WriteString(strconv.Itoa(v.msgParent.index))
+		}
+	}
+	return b.String()
+}
+
+// PatternName produces a short human-readable label for a pattern, listing
+// the programs visited along the critical path, e.g.
+// "httpd>java>mysqld>java>mysqld>java>httpd". Isomorphic graphs share a
+// name, but the name is lossier than the signature.
+func PatternName(g *Graph) string {
+	path := CriticalPath(g)
+	var progs []string
+	for _, v := range path {
+		p := v.Ctx.Program
+		if n := len(progs); n == 0 || progs[n-1] != p {
+			progs = append(progs, p)
+		}
+	}
+	if len(progs) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(progs, ">")
+}
+
+// Pattern is one isomorphism class of CAGs with its members.
+type Pattern struct {
+	Signature string
+	Name      string
+	Graphs    []*Graph
+}
+
+// Count returns the number of member CAGs.
+func (p *Pattern) Count() int { return len(p.Graphs) }
+
+// Classify groups CAGs into causal path patterns by signature. Patterns are
+// returned most-frequent first (ties broken by signature for determinism).
+func Classify(graphs []*Graph) []*Pattern {
+	bySig := make(map[string]*Pattern)
+	for _, g := range graphs {
+		sig := Signature(g)
+		p := bySig[sig]
+		if p == nil {
+			p = &Pattern{Signature: sig, Name: PatternName(g)}
+			bySig[sig] = p
+		}
+		p.Graphs = append(p.Graphs, g)
+	}
+	out := make([]*Pattern, 0, len(bySig))
+	for _, p := range bySig {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Graphs) != len(out[j].Graphs) {
+			return len(out[i].Graphs) > len(out[j].Graphs)
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out
+}
+
+// Isomorphic reports whether two CAGs belong to the same causal path
+// pattern.
+func Isomorphic(a, b *Graph) bool { return Signature(a) == Signature(b) }
+
+// Dump renders the graph as an indented textual tree for debugging and the
+// CLI. Vertices appear in insertion order with their parent links.
+func Dump(g *Graph) string {
+	var b strings.Builder
+	for i, v := range g.vertices {
+		fmt.Fprintf(&b, "%3d %-7s t=%-12s %s", i, v.Type, v.Timestamp, v.Ctx)
+		if v.ctxParent != nil {
+			fmt.Fprintf(&b, " c<-%d", v.ctxParent.index)
+		}
+		if v.msgParent != nil {
+			fmt.Fprintf(&b, " m<-%d", v.msgParent.index)
+		}
+		if v.Size > 0 {
+			fmt.Fprintf(&b, " %dB", v.Size)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package cag
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ToDOT renders the CAG in Graphviz DOT format, one node per activity
+// vertex, solid edges for adjacent context relations and dashed edges for
+// message relations — the visual convention of the paper's Fig. 1.
+func ToDOT(g *Graph, title string) string {
+	var b strings.Builder
+	b.WriteString("digraph cag {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontsize=10, fontname=\"monospace\"];\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", title)
+	}
+	base := time.Duration(0)
+	if g.Len() > 0 {
+		base = g.Vertex(0).Timestamp
+	}
+	for i, v := range g.vertices {
+		fmt.Fprintf(&b, "  v%d [label=\"%s\\n%s/%s %d:%d\\n+%s  %dB\"];\n",
+			i, v.Type, v.Ctx.Host, v.Ctx.Program, v.Ctx.PID, v.Ctx.TID,
+			(v.Timestamp - base).Round(time.Microsecond), v.Size)
+	}
+	for i, v := range g.vertices {
+		if p := v.ctxParent; p != nil {
+			fmt.Fprintf(&b, "  v%d -> v%d [style=solid, color=red];\n", p.index, i)
+		}
+		if p := v.msgParent; p != nil {
+			fmt.Fprintf(&b, "  v%d -> v%d [style=dashed, color=blue];\n", p.index, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Timeline renders the CAG as an ASCII swim-lane diagram: one lane per
+// execution entity, activities placed proportionally to their timestamps.
+// Cross-node times are raw local timestamps, so skew shows up visually —
+// which is often the first thing an operator wants to see.
+func Timeline(g *Graph, width int) string {
+	if g.Len() == 0 {
+		return "(empty)\n"
+	}
+	if width < 40 {
+		width = 80
+	}
+	minT, maxT := g.vertices[0].Timestamp, g.vertices[0].Timestamp
+	var lanes []string
+	laneOf := make(map[string]int)
+	for _, v := range g.vertices {
+		if v.Timestamp < minT {
+			minT = v.Timestamp
+		}
+		if v.Timestamp > maxT {
+			maxT = v.Timestamp
+		}
+		key := v.Ctx.String()
+		if _, ok := laneOf[key]; !ok {
+			laneOf[key] = len(lanes)
+			lanes = append(lanes, key)
+		}
+	}
+	span := maxT - minT
+	if span <= 0 {
+		span = 1
+	}
+	labelW := 0
+	for _, l := range lanes {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	chart := make([][]byte, len(lanes))
+	for i := range chart {
+		chart[i] = []byte(strings.Repeat("·", width))
+	}
+	mark := func(v *Vertex) {
+		lane := laneOf[v.Ctx.String()]
+		pos := int(float64(v.Timestamp-minT) / float64(span) * float64(width-1))
+		var c byte
+		switch v.Type {
+		case 1: // Begin
+			c = 'B'
+		case 2: // Send
+			c = 'S'
+		case 3: // End
+			c = 'E'
+		case 4: // Receive
+			c = 'R'
+		default:
+			c = '?'
+		}
+		chart[lane][pos] = c
+	}
+	for _, v := range g.vertices {
+		mark(v)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "span %v (B=begin S=send R=receive E=end; raw local clocks)\n",
+		span.Round(time.Microsecond))
+	for i, l := range lanes {
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, l, chart[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package cag
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestToDOT(t *testing.T) {
+	g := buildThreeTier(t, 0, 1)
+	dot := ToDOT(g, "request 1")
+	for _, want := range []string{
+		"digraph cag", "request 1",
+		"style=solid", "style=dashed", // both relation kinds
+		"BEGIN", "END",
+		"v0 -> v1", // root's context edge
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// One node line per vertex.
+	if got := strings.Count(dot, "[label="); got != g.Len() {
+		t.Fatalf("node count = %d, want %d", got, g.Len())
+	}
+}
+
+func TestTimelineLanesAndMarks(t *testing.T) {
+	g := buildThreeTier(t, 0, 1)
+	tl := Timeline(g, 60)
+	// Three entities => three lanes.
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 4 { // header + 3 lanes
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), tl)
+	}
+	for _, c := range []string{"B", "S", "R", "E"} {
+		if !strings.Contains(tl, c) {
+			t.Fatalf("timeline missing %s marks:\n%s", c, tl)
+		}
+	}
+	if !strings.Contains(tl, "web1/httpd") {
+		t.Fatalf("lane label missing:\n%s", tl)
+	}
+}
+
+func TestTimelineEmptyAndDegenerate(t *testing.T) {
+	if Timeline(&Graph{}, 80) != "(empty)\n" {
+		t.Fatal("empty graph rendering")
+	}
+	// Single-instant graph (span zero) must not divide by zero.
+	g := buildThreeTier(t, time.Second, 2)
+	for _, v := range g.Vertices() {
+		v.Timestamp = time.Second
+	}
+	out := Timeline(g, 50)
+	if !strings.Contains(out, "span") {
+		t.Fatalf("degenerate timeline:\n%s", out)
+	}
+}

@@ -1,0 +1,190 @@
+// Package core exposes PreciseTracer's public API: the Correlator that
+// turns merged TCP_TRACE activity streams into Component Activity Graphs.
+//
+// The Correlator composes the two modules of Fig. 2:
+//
+//	TCP_TRACE logs ──> Ranker (candidate selection, §4.1)
+//	                     │ candidates
+//	                     ▼
+//	                   Engine (CAG construction, §4.2) ──> CAGs
+//
+// plus the §3.1 transformation step that classifies frontier RECEIVE/SEND
+// records into BEGIN/END activities.
+//
+// Typical offline use:
+//
+//	trace, _ := activity.ReadAll(f)
+//	res, _ := core.New(core.Options{Window: 10 * time.Millisecond,
+//	    EntryPorts: []int{80}, IPToHost: topo}).CorrelateTrace(trace)
+//	patterns := cag.Classify(res.Graphs)
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/cag"
+	"repro/internal/engine"
+	"repro/internal/ranker"
+)
+
+// Options configures a Correlator.
+type Options struct {
+	// Window is the ranker's sliding time window (§4.1). Any positive
+	// value preserves correctness; it trades buffering memory against
+	// fetch batching. Defaults to 10ms, the setting of §5.3.1.
+	Window time.Duration
+
+	// EntryPorts are the first-tier service ports used by the §3.1
+	// BEGIN/END transformation (e.g. 80). Required for CAGs to start and
+	// finish.
+	EntryPorts []int
+
+	// IPToHost maps every traced node's IP addresses to its hostname. Used
+	// by the ranker to reason about whether a matching SEND can still
+	// arrive. IPs absent from the map are treated as untraced (clients,
+	// noise sources).
+	IPToHost map[string]string
+
+	// Filter drops activities at fetch time (attribute-based noise
+	// filtering, §4.3). Optional.
+	Filter ranker.Filter
+
+	// PaperExactNoise switches is_noise to the exact Fig. 5 predicate; see
+	// ranker.Config. For ablation only.
+	PaperExactNoise bool
+
+	// OnGraph, when non-nil, streams each finished CAG instead of
+	// accumulating all of them in the Result — bounding memory for long
+	// traces.
+	OnGraph func(*cag.Graph)
+}
+
+// Result is the outcome of a correlation run.
+type Result struct {
+	// Graphs holds the finished CAGs in completion order (empty when
+	// streaming via OnGraph).
+	Graphs []*cag.Graph
+
+	// CorrelationTime is the wall-clock time spent ranking + constructing —
+	// the quantity plotted in Fig. 9, 10 and 14.
+	CorrelationTime time.Duration
+
+	// Activities is the number of input records offered to the ranker
+	// (after classification, before filtering).
+	Activities int
+
+	Ranker ranker.Stats
+	Engine engine.Stats
+
+	// PeakBufferedActivities and PeakResidentVertices drive the Fig. 11
+	// memory accounting: the ranker's buffer plus the engine's unfinished
+	// CAGs dominate the Correlator's footprint.
+	PeakBufferedActivities int
+	PeakResidentVertices   int
+}
+
+// EstimatedBytes approximates the Correlator's peak working-set size from
+// its two dominant populations. The per-item constants approximate the
+// in-memory size of an Activity record and a CAG vertex with bookkeeping.
+func (r *Result) EstimatedBytes() int64 {
+	const activityBytes = 192
+	const vertexBytes = 256
+	return int64(r.PeakBufferedActivities)*activityBytes + int64(r.PeakResidentVertices)*vertexBytes
+}
+
+// Unfinished returns the number of CAGs begun but never completed —
+// non-zero only under activity loss or truncated traces.
+func (r *Result) Unfinished() int {
+	return int(r.Engine.Begins - r.Engine.Finished)
+}
+
+// Correlator is the reusable façade. Each call to CorrelateTrace or
+// CorrelateSources runs an independent pipeline instance.
+type Correlator struct {
+	opts Options
+}
+
+// New returns a Correlator with the given options.
+func New(opts Options) *Correlator {
+	if opts.Window <= 0 {
+		opts.Window = 10 * time.Millisecond
+	}
+	return &Correlator{opts: opts}
+}
+
+// ErrNoEntryPorts reports a configuration that can never produce a CAG.
+var ErrNoEntryPorts = errors.New("core: no entry ports configured; no request can begin")
+
+// CorrelateTrace classifies and correlates a merged multi-node trace. The
+// input slice is not modified; classification happens on shallow copies.
+func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error) {
+	if len(c.opts.EntryPorts) == 0 {
+		return nil, ErrNoEntryPorts
+	}
+	cls := activity.NewClassifier(c.opts.EntryPorts...)
+	classified := make([]*activity.Activity, len(trace))
+	for i, a := range trace {
+		cp := *a
+		cp.Type = cls.Classify(a)
+		classified[i] = &cp
+	}
+	byHost := ranker.SplitByHost(classified)
+	sources := make([]ranker.Source, 0, len(byHost))
+	for _, host := range sortedKeys(byHost) {
+		sources = append(sources, ranker.NewSliceSource(host, byHost[host]))
+	}
+	return c.CorrelateSources(sources, len(classified))
+}
+
+// CorrelateSources runs the pipeline over pre-classified per-node sources.
+// totalHint sizes the result accounting; pass 0 when unknown.
+func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*Result, error) {
+	var engOpts []engine.Option
+	if c.opts.OnGraph != nil {
+		engOpts = append(engOpts, engine.WithOutputFunc(c.opts.OnGraph))
+	}
+	eng := engine.New(engOpts...)
+	rk := ranker.New(ranker.Config{
+		Window:          c.opts.Window,
+		IPToHost:        c.opts.IPToHost,
+		Filter:          c.opts.Filter,
+		PaperExactNoise: c.opts.PaperExactNoise,
+	}, eng, sources)
+
+	start := time.Now()
+	for {
+		a := rk.Rank()
+		if a == nil {
+			break
+		}
+		eng.Handle(a)
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Graphs:                 eng.Outputs(),
+		CorrelationTime:        elapsed,
+		Activities:             totalHint,
+		Ranker:                 rk.Stats(),
+		Engine:                 eng.Stats(),
+		PeakBufferedActivities: rk.Stats().PeakBuffered,
+		PeakResidentVertices:   eng.PeakResidentVertices(),
+	}
+	return res, nil
+}
+
+func sortedKeys(m map[string][]*activity.Activity) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: tiny n (node count)
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/cag"
+	"repro/internal/engine"
+	"repro/internal/ranker"
+)
+
+// Session is the online (push-mode) correlator: activities are pushed as
+// the collection agents deliver them, CAGs come out while the service is
+// still running. The offline CorrelateTrace is a Session fed all at once.
+//
+//	s, _ := core.NewSession(opts, []string{"web1", "app1", "db1"})
+//	s.Push(a)        // repeatedly, per arriving record
+//	s.Drain()        // emit every CAG currently decidable
+//	s.Close()        // end of streams; flush the remainder
+//
+// Safety: the session never *guesses* — a candidate is only chosen when no
+// open stream could still deliver an activity that changes the decision.
+// That is the same no-false-positives guarantee as offline mode; the cost
+// is that CAG emission lags input by up to the in-flight depth of the
+// slowest node's stream.
+type Session struct {
+	opts    Options
+	cls     *activity.Classifier
+	eng     *engine.Engine
+	rk      *ranker.Ranker
+	sources map[string]*ranker.PushSource
+	closed  bool
+
+	graphs   []*cag.Graph
+	rankTime time.Duration
+	pushed   int
+}
+
+// NewSession opens an online session for the given traced hosts. Every
+// host that will produce activities must be declared up front (the
+// ranker's safety logic needs to know which streams exist).
+func NewSession(opts Options, hosts []string) (*Session, error) {
+	if len(opts.EntryPorts) == 0 {
+		return nil, ErrNoEntryPorts
+	}
+	if opts.Window <= 0 {
+		opts.Window = 10 * time.Millisecond
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("core: session needs at least one host")
+	}
+	s := &Session{
+		opts:    opts,
+		cls:     activity.NewClassifier(opts.EntryPorts...),
+		sources: make(map[string]*ranker.PushSource, len(hosts)),
+	}
+	var engOpts []engine.Option
+	if opts.OnGraph != nil {
+		engOpts = append(engOpts, engine.WithOutputFunc(opts.OnGraph))
+	}
+	s.eng = engine.New(engOpts...)
+	srcs := make([]ranker.Source, 0, len(hosts))
+	for _, h := range hosts {
+		ps := ranker.NewPushSource(h)
+		s.sources[h] = ps
+		srcs = append(srcs, ps)
+	}
+	s.rk = ranker.New(ranker.Config{
+		Window:          s.opts.Window,
+		IPToHost:        s.opts.IPToHost,
+		Filter:          s.opts.Filter,
+		PaperExactNoise: s.opts.PaperExactNoise,
+	}, s.eng, srcs)
+	return s, nil
+}
+
+// Push feeds one raw TCP_TRACE record (classification happens inside).
+// Records of one host must arrive in that host's local-clock order; hosts
+// interleave arbitrarily.
+func (s *Session) Push(a *activity.Activity) error {
+	if s.closed {
+		return fmt.Errorf("core: push on closed session")
+	}
+	src, ok := s.sources[a.Ctx.Host]
+	if !ok {
+		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", a.Ctx.Host)
+	}
+	cp := *a
+	cp.Type = s.cls.Classify(a)
+	if err := src.Push(&cp); err != nil {
+		return err
+	}
+	s.pushed++
+	return nil
+}
+
+// Drain runs the correlator until no further candidate is safely
+// decidable, returning the number of activities processed this call.
+func (s *Session) Drain() int {
+	start := time.Now()
+	n := 0
+	for {
+		a, done := s.rk.TryRank()
+		if a == nil {
+			_ = done
+			break
+		}
+		if g := s.eng.Handle(a); g != nil && s.opts.OnGraph == nil {
+			s.graphs = append(s.graphs, g)
+		}
+		n++
+	}
+	s.rankTime += time.Since(start)
+	return n
+}
+
+// CloseHost marks one host's stream complete (its agent shut down).
+func (s *Session) CloseHost(host string) error {
+	src, ok := s.sources[host]
+	if !ok {
+		return fmt.Errorf("core: unknown host %q", host)
+	}
+	src.Close()
+	return nil
+}
+
+// Close marks every stream complete, drains the remainder and returns the
+// final result.
+func (s *Session) Close() *Result {
+	for _, src := range s.sources {
+		src.Close()
+	}
+	s.Drain()
+	s.closed = true
+	return &Result{
+		Graphs:                 s.graphs,
+		CorrelationTime:        s.rankTime,
+		Activities:             s.pushed,
+		Ranker:                 s.rk.Stats(),
+		Engine:                 s.eng.Stats(),
+		PeakBufferedActivities: s.rk.Stats().PeakBuffered,
+		PeakResidentVertices:   s.eng.PeakResidentVertices(),
+	}
+}
+
+// Graphs returns the CAGs completed so far (when not streaming via
+// OnGraph).
+func (s *Session) Graphs() []*cag.Graph { return s.graphs }
+
+// Pending returns the number of activities buffered but not yet decidable.
+func (s *Session) Pending() int { return s.rk.Buffered() }

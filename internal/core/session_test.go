@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/rubis"
+)
+
+// arrivalOrder returns the trace in global timestamp order — an
+// approximation of how records reach an online collector.
+func arrivalOrder(trace []*activity.Activity) []*activity.Activity {
+	out := make([]*activity.Activity, len(trace))
+	copy(out, trace)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
+	return out
+}
+
+func hostsOf(res *rubis.Result) []string {
+	var hosts []string
+	for h := range res.PerHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+func TestSessionMatchesOffline(t *testing.T) {
+	res := fastRun(t, 60, func(c *rubis.Config) {
+		c.Skew.MaxSkew = 200 * time.Millisecond
+	})
+	sess, err := NewSession(options(res), hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push in per-host local order (interleaved chunks), draining as we go.
+	perHostPos := map[string]int{}
+	pushed := 0
+	for pushed < len(res.Trace) {
+		for _, h := range hostsOf(res) {
+			log := res.PerHost[h]
+			pos := perHostPos[h]
+			for i := 0; i < 50 && pos < len(log); i++ {
+				if err := sess.Push(log[pos]); err != nil {
+					t.Fatal(err)
+				}
+				pos++
+				pushed++
+			}
+			perHostPos[h] = pos
+		}
+		sess.Drain()
+	}
+	out := sess.Close()
+	rep := res.Truth.Evaluate(out.Graphs)
+	if rep.PathAccuracy() != 1.0 {
+		t.Fatalf("online accuracy: %v", rep)
+	}
+	if out.Activities != len(res.Trace) {
+		t.Fatalf("activities = %d, want %d", out.Activities, len(res.Trace))
+	}
+	if out.Ranker.ForcedPops != 0 {
+		t.Fatalf("online session forced pops: %+v", out.Ranker)
+	}
+}
+
+func TestSessionEmitsBeforeClose(t *testing.T) {
+	// CAGs must stream out while input is still flowing — not only at
+	// Close. Push the first 70% of the trace and expect some output.
+	res := fastRun(t, 60, nil)
+	sess, err := NewSession(options(res), hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(res.Trace) * 7 / 10
+	for _, a := range arrivalOrder(res.Trace)[:cut] {
+		if err := sess.Push(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Drain()
+	if len(sess.Graphs()) == 0 {
+		t.Fatal("no CAGs emitted mid-stream")
+	}
+	if sess.Pending() == 0 {
+		t.Fatal("expected some undecidable activities pending")
+	}
+	out := sess.Close()
+	if len(out.Graphs) <= len(sess.Graphs())-1 {
+		t.Fatalf("close lost graphs: %d", len(out.Graphs))
+	}
+}
+
+func TestSessionNoGuessingWhileOpen(t *testing.T) {
+	// A lone RECEIVE whose SEND has not arrived yet must stay pending while
+	// the sender's stream is open — and resolve once the SEND arrives.
+	res := fastRun(t, 10, nil)
+	sess, err := NewSession(options(res), hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a cross-node RECEIVE and its SEND (same MsgID).
+	var recv, send *activity.Activity
+	for _, a := range res.Trace {
+		if a.Type == activity.Receive && a.Ctx.Host == "app1" {
+			recv = a
+			break
+		}
+	}
+	for _, a := range res.Trace {
+		if recv != nil && a.Type == activity.Send && a.MsgID == recv.MsgID {
+			send = a
+			break
+		}
+	}
+	if recv == nil || send == nil {
+		t.Fatal("test setup: no matching pair found")
+	}
+	if err := sess.Push(recv); err != nil {
+		t.Fatal(err)
+	}
+	sess.Drain()
+	if st := sess.rk.Stats(); st.NoiseDropped != 0 || st.ForcedPops != 0 {
+		t.Fatalf("session guessed on an open stream: %+v", st)
+	}
+	if sess.Pending() == 0 {
+		t.Fatal("the RECEIVE should be buffered")
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	res := fastRun(t, 10, nil)
+	if _, err := NewSession(Options{}, hostsOf(res)); err == nil {
+		t.Fatal("missing entry ports should fail")
+	}
+	if _, err := NewSession(options(res), nil); err == nil {
+		t.Fatal("no hosts should fail")
+	}
+	sess, err := NewSession(options(res), hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *res.Trace[0]
+	bad.Ctx.Host = "unknown-host"
+	if err := sess.Push(&bad); err == nil {
+		t.Fatal("unknown host should fail")
+	}
+	if err := sess.CloseHost("nope"); err == nil {
+		t.Fatal("unknown CloseHost should fail")
+	}
+	sess.Close()
+	if err := sess.Push(res.Trace[0]); err == nil {
+		t.Fatal("push after close should fail")
+	}
+}
+
+func TestSessionOutOfOrderPushRejected(t *testing.T) {
+	res := fastRun(t, 10, nil)
+	sess, err := NewSession(options(res), hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := res.PerHost["web1"]
+	if err := sess.Push(log[1]); err != nil {
+		t.Fatal(err)
+	}
+	if log[0].Timestamp < log[1].Timestamp {
+		if err := sess.Push(log[0]); err == nil {
+			t.Fatal("timestamp regression should be rejected")
+		}
+	}
+}

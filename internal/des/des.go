@@ -1,0 +1,179 @@
+// Package des provides a deterministic discrete-event simulation core used
+// by the testbed that stands in for the paper's physical 8-node cluster.
+//
+// The simulator is single-threaded and callback-based: events are closures
+// scheduled at virtual times, executed in (time, sequence) order. Determinism
+// matters because the reproduction's accuracy experiments compare correlator
+// output against ground truth; a deterministic substrate makes every run
+// repeatable bit-for-bit for a given seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once fired or cancelled
+	canceled bool
+}
+
+// At returns the virtual time at which the event fires.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// New returns an empty simulator positioned at virtual time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far; useful for
+// complexity-shaped assertions in tests and benchmarks.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero (run "now", after currently queued same-time events).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t. Times in the past
+// are clamped to the current time.
+func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Step executes the single earliest pending event. It returns false when the
+// queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		ev, ok := heap.Pop(&s.events).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with fire times <= horizon, then advances the
+// clock to horizon. Events scheduled beyond the horizon stay queued.
+func (s *Simulator) RunUntil(horizon time.Duration) {
+	for len(s.events) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// peek returns the earliest non-cancelled event without popping it.
+func (s *Simulator) peek() *Event {
+	for len(s.events) > 0 {
+		if !s.events[0].canceled {
+			return s.events[0]
+		}
+		popped, ok := heap.Pop(&s.events).(*Event)
+		_ = popped
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Simulator) String() string {
+	return fmt.Sprintf("des.Simulator{now=%v pending=%d fired=%d}", s.now, len(s.events), s.fired)
+}

@@ -1,0 +1,157 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFiredCounts(t *testing.T) {
+	sim := New()
+	for i := 0; i < 5; i++ {
+		sim.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	ev := sim.Schedule(10*time.Millisecond, func() {})
+	ev.Cancel()
+	sim.Run()
+	if sim.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5 (cancelled events don't fire)", sim.Fired())
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("Pending = %d", sim.Pending())
+	}
+}
+
+func TestRunUntilThenResume(t *testing.T) {
+	sim := New()
+	var hits []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Millisecond
+		sim.Schedule(d, func() { hits = append(hits, d) })
+	}
+	sim.RunUntil(3 * time.Millisecond)
+	if len(hits) != 3 {
+		t.Fatalf("hits after horizon = %d", len(hits))
+	}
+	// Scheduling relative to the advanced clock works.
+	sim.Schedule(time.Millisecond, func() { hits = append(hits, sim.Now()) })
+	sim.Run()
+	if len(hits) != 6 {
+		t.Fatalf("hits after resume = %d", len(hits))
+	}
+	// Order: pending 4ms event, the newly scheduled event (also at 4ms,
+	// later sequence), then the pending 5ms event.
+	if hits[4] != 4*time.Millisecond || hits[5] != 5*time.Millisecond {
+		t.Fatalf("resume order: %v", hits)
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	sim := New()
+	var second *Event
+	fired := false
+	sim.Schedule(time.Millisecond, func() { second.Cancel() })
+	second = sim.Schedule(2*time.Millisecond, func() { fired = true })
+	sim.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	sim := New()
+	ev := sim.Schedule(7*time.Millisecond, func() {})
+	if ev.At() != 7*time.Millisecond {
+		t.Fatalf("At = %v", ev.At())
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	sim := New()
+	ev := sim.Schedule(time.Millisecond, func() {})
+	ev.Cancel()
+	ran := false
+	sim.Schedule(2*time.Millisecond, func() { ran = true })
+	sim.RunUntil(5 * time.Millisecond)
+	if !ran {
+		t.Fatal("cancelled head blocked RunUntil")
+	}
+}
+
+func TestTokenPoolReleaseWithoutAcquire(t *testing.T) {
+	sim := New()
+	pool := NewTokenPool(sim, 1)
+	pool.Release() // must not underflow
+	if pool.InUse() != 0 {
+		t.Fatalf("InUse = %d", pool.InUse())
+	}
+	if !pool.TryAcquire() {
+		t.Fatal("pool corrupted by spurious release")
+	}
+}
+
+func TestTokenPoolWaitingCount(t *testing.T) {
+	sim := New()
+	pool := NewTokenPool(sim, 1)
+	pool.Acquire(func() {})
+	pool.Acquire(func() {})
+	pool.Acquire(func() {})
+	if pool.Waiting() != 2 {
+		t.Fatalf("Waiting = %d", pool.Waiting())
+	}
+	pool.Release()
+	sim.Run()
+	if pool.Waiting() != 1 {
+		t.Fatalf("Waiting after release = %d", pool.Waiting())
+	}
+}
+
+func TestCPUQueueLen(t *testing.T) {
+	sim := New()
+	cpu := NewCPU(sim, 1)
+	cpu.Use(time.Millisecond, func() {})
+	cpu.Use(time.Millisecond, func() {})
+	cpu.Use(time.Millisecond, func() {})
+	if cpu.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d", cpu.QueueLen())
+	}
+	sim.Run()
+	if cpu.QueueLen() != 0 || cpu.Jobs() != 3 {
+		t.Fatalf("after run: queue=%d jobs=%d", cpu.QueueLen(), cpu.Jobs())
+	}
+}
+
+func TestCPUDefaultCores(t *testing.T) {
+	sim := New()
+	if NewCPU(sim, 0).Cores() != 1 {
+		t.Fatal("zero cores should clamp to 1")
+	}
+	if NewTokenPool(sim, 0).Capacity() != 1 {
+		t.Fatal("zero capacity should clamp to 1")
+	}
+}
+
+func TestSimulatorString(t *testing.T) {
+	if New().String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRNGUniformAndNormalBounds(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		u := g.Uniform(time.Millisecond, 2*time.Millisecond)
+		if u < time.Millisecond || u >= 2*time.Millisecond {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+		n := g.Normal(time.Millisecond, 5*time.Millisecond)
+		if n < 0 {
+			t.Fatalf("Normal went negative: %v", n)
+		}
+	}
+	if g.Uniform(time.Second, time.Second) != time.Second {
+		t.Fatal("degenerate Uniform")
+	}
+	if g.Exp(0) != 0 || g.Exp(-time.Second) != 0 {
+		t.Fatal("non-positive Exp mean")
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps unit tests fast; cmd/experiments runs the real scales.
+const tinyScale = 0.004
+
+func checkTable(t *testing.T, tbl *Table, err error, wantRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("%s: rows = %d, want %d", tbl.ID, len(tbl.Rows), wantRows)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, tbl.ID) {
+		t.Fatalf("render missing ID:\n%s", out)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("%s: row width %d != header %d", tbl.ID, len(row), len(tbl.Header))
+		}
+	}
+}
+
+func TestAccuracyGridAll100(t *testing.T) {
+	tbl, err := Accuracy(tinyScale)
+	checkTable(t, tbl, err, 7)
+	for _, row := range tbl.Rows {
+		if row[6] != "1.0000" {
+			t.Fatalf("accuracy row not 100%%: %v", row)
+		}
+		if row[7] != "0" || row[8] != "0" {
+			t.Fatalf("false positives/negatives present: %v", row)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tbl, err := Fig8(tinyScale)
+	checkTable(t, tbl, err, 10)
+}
+
+func TestFig9Shape(t *testing.T) {
+	tbl, err := Fig9(tinyScale)
+	checkTable(t, tbl, err, 10)
+}
+
+func TestFig10And11Shape(t *testing.T) {
+	tbl, err := Fig10(tinyScale)
+	checkTable(t, tbl, err, 6)
+	tbl, err = Fig11(tinyScale)
+	checkTable(t, tbl, err, 6)
+}
+
+func TestFig12And13Shape(t *testing.T) {
+	tbl, err := Fig12(tinyScale)
+	checkTable(t, tbl, err, 10)
+	tbl, err = Fig13(tinyScale)
+	checkTable(t, tbl, err, 10)
+}
+
+func TestFig14Shape(t *testing.T) {
+	tbl, err := Fig14(tinyScale)
+	checkTable(t, tbl, err, 5)
+	// Accuracy warnings would be prepended as notes; ensure none.
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("noise broke accuracy: %s", n)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tbl, err := Fig15(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("expected >=5 component rows, got %d", len(tbl.Rows))
+	}
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "httpd2java" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("httpd2java row missing")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	tbl, err := Fig16(tinyScale)
+	checkTable(t, tbl, err, 10)
+}
+
+func TestFig17Shape(t *testing.T) {
+	tbl, err := Fig17(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Header) != 5 { // component + 4 cases
+		t.Fatalf("header = %v", tbl.Header)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tbl, err := AblationBaselines(tinyScale)
+	checkTable(t, tbl, err, 3)
+	for _, row := range tbl.Rows {
+		if row[1] != "1.0000" {
+			t.Fatalf("precise tracer below 100%%: %v", row)
+		}
+	}
+	tbl, err = AblationPaperExactNoise(tinyScale)
+	checkTable(t, tbl, err, 2)
+}
+
+func TestAblationActivityLoss(t *testing.T) {
+	tbl, err := AblationActivityLoss(tinyScale)
+	checkTable(t, tbl, err, 4)
+	// Zero loss row must be perfect; the highest loss rate must degrade.
+	if tbl.Rows[0][1] != "1.0000" {
+		t.Fatalf("zero-loss accuracy: %v", tbl.Rows[0])
+	}
+	if tbl.Rows[3][1] == "1.0000" {
+		t.Fatalf("1%% loss should not be perfect: %v", tbl.Rows[3])
+	}
+}
+
+func TestAblationSkewCorrection(t *testing.T) {
+	tbl, err := AblationSkewCorrection(tinyScale)
+	checkTable(t, tbl, err, 2)
+}
+
+func TestHopProfile(t *testing.T) {
+	tbl, err := HopProfile(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTransactionProfile(t *testing.T) {
+	tbl, err := TransactionProfile(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 8 {
+		t.Fatalf("transactions listed = %d", len(tbl.Rows))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All) != 17 {
+		t.Fatalf("registry size = %d", len(All))
+	}
+	if ByID("fig15") == nil || ByID("nope") != nil {
+		t.Fatal("ByID lookup broken")
+	}
+	seen := map[string]bool{}
+	for _, s := range All {
+		if seen[s.ID] {
+			t.Fatalf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil || s.Title == "" {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+	}
+}

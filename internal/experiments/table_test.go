@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"col", "value"},
+	}
+	tbl.AddRow("a", "1")
+	tbl.AddRow("longer-name", "123456")
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + 2 rows + note
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All value cells must end at the same column (right-aligned fields).
+	h := strings.Index(lines[1], "value")
+	r1 := strings.Index(lines[2], "1")
+	if h < 0 || r1 < 0 {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[4], "note: ") {
+		t.Fatalf("note line: %q", lines[4])
+	}
+	if !strings.Contains(lines[0], "T") || !strings.Contains(lines[0], "demo") {
+		t.Fatalf("title line: %q", lines[0])
+	}
+}
+
+func TestTableWiderRowThanHeader(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "x", Header: []string{"a"}}
+	tbl.AddRow("aaaaaaaaaa")
+	out := tbl.Render()
+	if !strings.Contains(out, "aaaaaaaaaa") {
+		t.Fatalf("row truncated:\n%s", out)
+	}
+}

@@ -1,0 +1,289 @@
+// Package live turns the offline analysis of §5.4 into an online monitor:
+// finished CAGs stream in (via core.Options.OnGraph), are bucketed into
+// fixed wall-of-virtual-time intervals per causal path pattern, and each
+// closed interval is compared against a rolling baseline with the
+// §5.4-style detector. The paper runs its experiments offline but motivates
+// the tool for production systems ("the low overhead and tolerance of
+// noise make PreciseTracer a promising tracing tool for using on
+// production systems"); this package is that deployment mode.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cag"
+)
+
+// Alert is one detector finding raised for a closed interval.
+type Alert struct {
+	Interval  int
+	Start     time.Duration
+	Pattern   string
+	Finding   analysis.Finding
+	Requests  int
+	MeanLat   time.Duration
+	BaseLat   time.Duration
+	LatFactor float64
+}
+
+// String implements fmt.Stringer.
+func (a Alert) String() string {
+	return fmt.Sprintf("interval %d (t=%v) pattern %q: %s [mean %v vs baseline %v]",
+		a.Interval, a.Start, a.Pattern, a.Finding.Reason,
+		a.MeanLat.Round(time.Microsecond), a.BaseLat.Round(time.Microsecond))
+}
+
+// Config parametrises a Monitor.
+type Config struct {
+	// Interval is the aggregation bucket width in trace (node-local
+	// first-tier) time. Default 10s.
+	Interval time.Duration
+	// BaselineIntervals is how many leading healthy intervals form the
+	// reference average path per pattern. Default 3.
+	BaselineIntervals int
+	// Detector thresholds; zero value uses analysis defaults.
+	Detector analysis.Detector
+	// MinRequests suppresses alerts for intervals with fewer requests of a
+	// pattern than this (unstable percentages). Default 10.
+	MinRequests int
+	// OnAlert, when set, receives alerts as intervals close.
+	OnAlert func(Alert)
+}
+
+type bucket struct {
+	start  time.Duration
+	graphs map[string][]*cag.Graph // signature -> members
+}
+
+// IntervalStat summarises one closed interval for dashboards.
+type IntervalStat struct {
+	Index    int
+	Start    time.Duration
+	Requests int
+	// MeanLatency averages across all patterns in the interval.
+	MeanLatency time.Duration
+	// TopPattern is the most frequent pattern name.
+	TopPattern string
+	Alerts     int
+}
+
+type patternBaseline struct {
+	report    *analysis.PatternReport
+	intervals int
+}
+
+// Monitor ingests CAGs and raises alerts.
+type Monitor struct {
+	cfg       Config
+	cur       *bucket
+	index     int
+	baselines map[string]*patternBaseline
+	alerts    []Alert
+	intervals int
+	ingested  int
+	history   []IntervalStat
+}
+
+// NewMonitor returns a monitor with the given configuration.
+func NewMonitor(cfg Config) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.BaselineIntervals <= 0 {
+		cfg.BaselineIntervals = 3
+	}
+	if cfg.MinRequests <= 0 {
+		cfg.MinRequests = 10
+	}
+	return &Monitor{cfg: cfg, baselines: make(map[string]*patternBaseline)}
+}
+
+// Ingest adds one finished CAG. CAGs must arrive in non-decreasing
+// completion (END timestamp) order, which is how the engine emits them per
+// first-tier node.
+func (m *Monitor) Ingest(g *cag.Graph) {
+	end := g.End()
+	if end == nil {
+		return
+	}
+	t := end.Timestamp
+	if m.cur == nil {
+		m.cur = &bucket{start: t - t%m.cfg.Interval, graphs: make(map[string][]*cag.Graph)}
+	}
+	for t >= m.cur.start+m.cfg.Interval {
+		m.closeInterval()
+		m.cur = &bucket{start: m.cur.start + m.cfg.Interval, graphs: make(map[string][]*cag.Graph)}
+	}
+	sig := cag.Signature(g)
+	m.cur.graphs[sig] = append(m.cur.graphs[sig], g)
+	m.ingested++
+}
+
+// Flush closes the current interval (end of stream).
+func (m *Monitor) Flush() {
+	if m.cur != nil && len(m.cur.graphs) > 0 {
+		m.closeInterval()
+	}
+	m.cur = nil
+}
+
+func (m *Monitor) closeInterval() {
+	stat := IntervalStat{Index: m.index, Start: m.cur.start}
+	alertsBefore := len(m.alerts)
+	var latSum time.Duration
+	topCount := 0
+	for sig, members := range m.cur.graphs {
+		stat.Requests += len(members)
+		for _, g := range members {
+			latSum += g.Latency()
+		}
+		if len(members) > topCount {
+			topCount = len(members)
+			stat.TopPattern = cag.PatternName(members[0])
+			_ = sig
+		}
+	}
+	if stat.Requests > 0 {
+		stat.MeanLatency = latSum / time.Duration(stat.Requests)
+	}
+	defer func() {
+		stat.Alerts = len(m.alerts) - alertsBefore
+		m.history = append(m.history, stat)
+		m.index++
+		m.intervals++
+	}()
+	sigs := make([]string, 0, len(m.cur.graphs))
+	for sig := range m.cur.graphs {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		members := m.cur.graphs[sig]
+		if len(members) < m.cfg.MinRequests {
+			continue
+		}
+		avg, err := cag.Aggregate(members)
+		if err != nil {
+			continue
+		}
+		rep := reportOf(avg)
+		base := m.baselines[sig]
+		if base == nil || base.intervals < m.cfg.BaselineIntervals {
+			// Still building the healthy reference: blend intervals.
+			if base == nil {
+				m.baselines[sig] = &patternBaseline{report: rep, intervals: 1}
+			} else {
+				base.report = blend(base.report, rep, base.intervals)
+				base.intervals++
+			}
+			continue
+		}
+		findings := m.cfg.Detector.Diagnose(base.report, rep)
+		for _, f := range findings {
+			a := Alert{
+				Interval: m.index,
+				Start:    m.cur.start,
+				Pattern:  rep.Name,
+				Finding:  f,
+				Requests: len(members),
+				MeanLat:  rep.MeanLatency,
+				BaseLat:  base.report.MeanLatency,
+			}
+			if base.report.MeanLatency > 0 {
+				a.LatFactor = float64(rep.MeanLatency) / float64(base.report.MeanLatency)
+			}
+			m.alerts = append(m.alerts, a)
+			if m.cfg.OnAlert != nil {
+				m.cfg.OnAlert(a)
+			}
+		}
+	}
+}
+
+// reportOf converts an average path into a PatternReport (share order as in
+// analysis.Report).
+func reportOf(avg *cag.AveragePath) *analysis.PatternReport {
+	rep := &analysis.PatternReport{
+		Name: avg.Name, Signature: avg.Signature, Count: avg.Count, MeanLatency: avg.MeanLatency,
+	}
+	cats, vals := avg.Percentages()
+	for i, c := range cats {
+		rep.Shares = append(rep.Shares, analysis.ComponentShare{
+			Category: c, Mean: avg.Components[c], Percent: vals[i],
+		})
+	}
+	return rep
+}
+
+// blend averages a new interval report into the accumulating baseline
+// (weighted by the number of intervals already blended).
+func blend(base, next *analysis.PatternReport, weight int) *analysis.PatternReport {
+	w := float64(weight)
+	out := &analysis.PatternReport{
+		Name: base.Name, Signature: base.Signature,
+		Count:       base.Count + next.Count,
+		MeanLatency: time.Duration((float64(base.MeanLatency)*w + float64(next.MeanLatency)) / (w + 1)),
+	}
+	byCat := make(map[string]analysis.ComponentShare)
+	for _, s := range base.Shares {
+		byCat[s.Category] = s
+	}
+	for _, s := range next.Shares {
+		if b, ok := byCat[s.Category]; ok {
+			byCat[s.Category] = analysis.ComponentShare{
+				Category: s.Category,
+				Mean:     time.Duration((float64(b.Mean)*w + float64(s.Mean)) / (w + 1)),
+				Percent:  (b.Percent*w + s.Percent) / (w + 1),
+			}
+		} else {
+			byCat[s.Category] = s
+		}
+	}
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		out.Shares = append(out.Shares, byCat[c])
+	}
+	return out
+}
+
+// Alerts returns all alerts raised so far.
+func (m *Monitor) Alerts() []Alert { return m.alerts }
+
+// Intervals returns the number of closed intervals.
+func (m *Monitor) Intervals() int { return m.intervals }
+
+// Ingested returns the number of CAGs consumed.
+func (m *Monitor) Ingested() int { return m.ingested }
+
+// History returns per-interval statistics in order.
+func (m *Monitor) History() []IntervalStat { return m.history }
+
+// HistoryTable renders the interval history for terminal output.
+func (m *Monitor) HistoryTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-10s %8s %12s %7s  %s\n", "intvl", "start", "requests", "mean_lat", "alerts", "top_pattern")
+	for _, st := range m.history {
+		fmt.Fprintf(&b, "%-5d %-10v %8d %12v %7d  %s\n",
+			st.Index, st.Start, st.Requests, st.MeanLatency.Round(time.Microsecond), st.Alerts, st.TopPattern)
+	}
+	return b.String()
+}
+
+// Summary renders a short textual report.
+func (m *Monitor) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "live monitor: %d CAGs over %d intervals, %d alerts\n",
+		m.ingested, m.intervals, len(m.alerts))
+	for _, a := range m.alerts {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	return b.String()
+}

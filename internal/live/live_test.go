@@ -1,0 +1,212 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/analysis"
+	"repro/internal/cag"
+	"repro/internal/core"
+	"repro/internal/rubis"
+)
+
+// buildGraph makes a finished two-tier CAG completing at the given time,
+// with a front2front share controlled by frontWork and a cross share by
+// hop.
+func buildGraph(t *testing.T, endAt time.Duration, frontWork, hop time.Duration, salt int) *cag.Graph {
+	t.Helper()
+	front := activity.Context{Host: "web1", Program: "front", PID: salt, TID: salt}
+	back := activity.Context{Host: "app1", Program: "back", PID: 7, TID: 100 + salt}
+	cch := activity.Channel{Src: activity.Endpoint{IP: "c", Port: 30000 + salt}, Dst: activity.Endpoint{IP: "w", Port: 80}}
+	wch := activity.Channel{Src: activity.Endpoint{IP: "w", Port: 40000 + salt}, Dst: activity.Endpoint{IP: "a", Port: 9000}}
+
+	total := frontWork + hop + hop + frontWork
+	start := endAt - total
+	g := cag.New(&cag.Vertex{Type: activity.Begin, Timestamp: start, Ctx: front, Chan: cch})
+	s := &cag.Vertex{Type: activity.Send, Timestamp: start + frontWork, Ctx: front, Chan: wch}
+	if err := g.AddVertex(s, cag.ContextEdge, g.Root()); err != nil {
+		t.Fatal(err)
+	}
+	rcv := &cag.Vertex{Type: activity.Receive, Timestamp: start + frontWork + hop, Ctx: back, Chan: wch}
+	if err := g.AddVertex(rcv, cag.MessageEdge, s); err != nil {
+		t.Fatal(err)
+	}
+	s2 := &cag.Vertex{Type: activity.Send, Timestamp: start + frontWork + hop, Ctx: back, Chan: wch.Reverse()}
+	if err := g.AddVertex(s2, cag.ContextEdge, rcv); err != nil {
+		t.Fatal(err)
+	}
+	r2 := &cag.Vertex{Type: activity.Receive, Timestamp: start + frontWork + 2*hop, Ctx: front, Chan: wch.Reverse()}
+	if err := g.AddVertex(r2, cag.MessageEdge, s2); err != nil {
+		t.Fatal(err)
+	}
+	end := &cag.Vertex{Type: activity.End, Timestamp: endAt, Ctx: front, Chan: cch.Reverse()}
+	if err := g.AddVertex(end, cag.ContextEdge, r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMonitorBaselineThenAlert(t *testing.T) {
+	var alerts []Alert
+	m := NewMonitor(Config{
+		Interval:          time.Second,
+		BaselineIntervals: 2,
+		MinRequests:       5,
+		Detector:          analysis.Detector{ThresholdPoints: 10},
+		OnAlert:           func(a Alert) { alerts = append(alerts, a) },
+	})
+	// Two healthy intervals (baseline), then one degraded interval where
+	// the cross-tier hop explodes.
+	at := time.Duration(0)
+	for interval := 0; interval < 4; interval++ {
+		hop := 5 * time.Millisecond
+		if interval == 3 {
+			hop = 60 * time.Millisecond // back tier's input path degrades
+		}
+		for i := 0; i < 8; i++ {
+			at = time.Duration(interval)*time.Second + time.Duration(100+i*20)*time.Millisecond
+			m.Ingest(buildGraph(t, at, 10*time.Millisecond, hop, i))
+		}
+	}
+	m.Flush()
+
+	if m.Intervals() != 4 {
+		t.Fatalf("intervals = %d, want 4", m.Intervals())
+	}
+	if len(alerts) == 0 {
+		t.Fatalf("no alerts raised; summary:\n%s", m.Summary())
+	}
+	found := false
+	for _, a := range alerts {
+		if a.Finding.Category == "front2back" || a.Finding.Category == "back2front" {
+			found = true
+			if a.LatFactor < 1.5 {
+				t.Fatalf("latency factor = %f, want > 1.5", a.LatFactor)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected a cross-tier finding, got %v", alerts)
+	}
+}
+
+func TestMonitorNoAlertsWhenHealthy(t *testing.T) {
+	m := NewMonitor(Config{Interval: time.Second, BaselineIntervals: 1, MinRequests: 3})
+	for interval := 0; interval < 5; interval++ {
+		for i := 0; i < 5; i++ {
+			at := time.Duration(interval)*time.Second + time.Duration(100+i*50)*time.Millisecond
+			m.Ingest(buildGraph(t, at, 10*time.Millisecond, 5*time.Millisecond, i))
+		}
+	}
+	m.Flush()
+	if len(m.Alerts()) != 0 {
+		t.Fatalf("healthy stream raised alerts:\n%s", m.Summary())
+	}
+	if m.Ingested() != 25 {
+		t.Fatalf("ingested = %d", m.Ingested())
+	}
+}
+
+func TestMonitorSkipsSparsePatterns(t *testing.T) {
+	m := NewMonitor(Config{Interval: time.Second, BaselineIntervals: 1, MinRequests: 50})
+	for interval := 0; interval < 3; interval++ {
+		for i := 0; i < 5; i++ { // below MinRequests
+			at := time.Duration(interval)*time.Second + time.Duration(100+i*50)*time.Millisecond
+			m.Ingest(buildGraph(t, at, 10*time.Millisecond, 5*time.Millisecond, i))
+		}
+	}
+	m.Flush()
+	if len(m.Alerts()) != 0 {
+		t.Fatal("sparse patterns must not alert")
+	}
+}
+
+func TestMonitorEmptyIntervalsSkipped(t *testing.T) {
+	m := NewMonitor(Config{Interval: 100 * time.Millisecond, BaselineIntervals: 1, MinRequests: 1})
+	// Two CAGs three intervals apart: the empty gap intervals must close
+	// without panicking or alerting.
+	m.Ingest(buildGraph(t, 50*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 1))
+	m.Ingest(buildGraph(t, 350*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 2))
+	m.Flush()
+	if m.Intervals() < 2 {
+		t.Fatalf("intervals = %d", m.Intervals())
+	}
+}
+
+func TestMonitorEndToEndWithFaultOnset(t *testing.T) {
+	// Full pipeline: run a healthy RUBiS session and a faulty one, stream
+	// the healthy CAGs first — the monitor must learn a baseline and then
+	// flag the fault's component.
+	mkGraphs := func(faults rubis.Faults) []*cag.Graph {
+		cfg := rubis.DefaultConfig(150)
+		cfg.Scale = 0.01
+		cfg.Faults = faults
+		res, err := rubis.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.New(core.Options{
+			Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+		}).CorrelateTrace(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Graphs
+	}
+	healthy := mkGraphs(rubis.Faults{})
+	faulty := mkGraphs(rubis.Faults{EJBDelay: 50 * time.Millisecond})
+
+	m := NewMonitor(Config{Interval: 2 * time.Second, BaselineIntervals: 1, MinRequests: 5})
+	for _, g := range healthy {
+		m.Ingest(g)
+	}
+	// The faulty run's virtual clock restarts at 0; shift its CAGs after
+	// the healthy stream by reusing completion order only.
+	last := healthy[len(healthy)-1].End().Timestamp
+	for _, g := range faulty {
+		for _, v := range g.Vertices() {
+			v.Timestamp += last
+		}
+		m.Ingest(g)
+	}
+	m.Flush()
+
+	java2java := false
+	for _, a := range m.Alerts() {
+		if a.Finding.Category == "java2java" {
+			java2java = true
+		}
+	}
+	if !java2java {
+		t.Fatalf("EJB delay onset not flagged; summary:\n%s", m.Summary())
+	}
+}
+
+func TestIntervalHistory(t *testing.T) {
+	m := NewMonitor(Config{Interval: time.Second, BaselineIntervals: 1, MinRequests: 3})
+	for interval := 0; interval < 3; interval++ {
+		for i := 0; i < 4; i++ {
+			at := time.Duration(interval)*time.Second + time.Duration(100+i*50)*time.Millisecond
+			m.Ingest(buildGraph(t, at, 10*time.Millisecond, 5*time.Millisecond, i))
+		}
+	}
+	m.Flush()
+	hist := m.History()
+	if len(hist) != 3 {
+		t.Fatalf("history = %d intervals", len(hist))
+	}
+	for _, st := range hist {
+		if st.Requests != 4 || st.MeanLatency <= 0 || st.TopPattern == "" {
+			t.Fatalf("interval stat: %+v", st)
+		}
+	}
+	table := m.HistoryTable()
+	if !strings.Contains(table, "top_pattern") || !strings.Contains(table, "front") {
+		t.Fatalf("table:\n%s", table)
+	}
+}

@@ -1,0 +1,149 @@
+package ranker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/engine"
+)
+
+func TestPushSourceBasics(t *testing.T) {
+	s := NewPushSource("web1")
+	if s.Host() != "web1" || s.Peek() != nil || s.Pop() != nil {
+		t.Fatal("empty source defaults")
+	}
+	a1 := act(activity.Begin, time.Millisecond, httpdCtx, clientCh, 10, 1)
+	a2 := act(activity.Send, 2*time.Millisecond, httpdCtx, webApp, 10, 1)
+	if err := s.Push(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(a2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Peek() != a1 || s.Pop() != a1 || s.Pop() != a2 {
+		t.Fatal("FIFO broken")
+	}
+	if !s.pending() {
+		t.Fatal("open drained source must still be pending")
+	}
+	s.Close()
+	if !s.Closed() || s.pending() {
+		t.Fatal("closed drained source must not be pending")
+	}
+	if err := s.Push(a1); err == nil {
+		t.Fatal("push after close must fail")
+	}
+}
+
+func TestPushSourceRejectsRegression(t *testing.T) {
+	s := NewPushSource("web1")
+	if err := s.Push(act(activity.Begin, 5*time.Millisecond, httpdCtx, clientCh, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(act(activity.Send, 3*time.Millisecond, httpdCtx, webApp, 10, 1)); err == nil {
+		t.Fatal("timestamp regression accepted")
+	}
+}
+
+func TestPushSourceCompaction(t *testing.T) {
+	s := NewPushSource("web1")
+	ts := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		ts += time.Microsecond
+		if err := s.Push(act(activity.Send, ts, httpdCtx, webApp, 10, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			s.Pop()
+		}
+	}
+	// Buffer must have compacted: head can't exceed half of a large buf.
+	if s.head > 1024 && s.head*2 > len(s.buf) {
+		t.Fatalf("no compaction: head=%d len=%d", s.head, len(s.buf))
+	}
+}
+
+func TestTryRankWaitsForOpenSources(t *testing.T) {
+	eng := engine.New()
+	web := NewPushSource("web1")
+	app := NewPushSource("app1")
+	r := New(Config{Window: 10 * time.Millisecond, IPToHost: ipToHost}, eng, []Source{web, app})
+
+	// Only app1's RECEIVE pushed: TryRank must not decide anything while
+	// web1 could still deliver the SEND.
+	recv := act(activity.Receive, 5*time.Millisecond, javaCtx, webApp, 60, 1)
+	if err := app.Push(recv); err != nil {
+		t.Fatal(err)
+	}
+	if a, done := r.TryRank(); a != nil || done {
+		t.Fatalf("TryRank decided early: %v %v", a, done)
+	}
+	// Once the SEND arrives (preceded by its BEGIN), everything resolves.
+	if err := web.Push(act(activity.Begin, time.Millisecond, httpdCtx, clientCh, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := web.Push(act(activity.Send, 2*time.Millisecond, httpdCtx, webApp, 60, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var types []activity.Type
+	for {
+		a, done := r.TryRank()
+		if a == nil {
+			if done {
+				break
+			}
+			// Not done, but blocked: close streams to flush.
+			web.Close()
+			app.Close()
+			continue
+		}
+		types = append(types, a.Type)
+		eng.Handle(a)
+	}
+	want := []activity.Type{activity.Begin, activity.Send, activity.Receive}
+	if len(types) != len(want) {
+		t.Fatalf("delivered %v", types)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("order %v, want %v", types, want)
+		}
+	}
+	if r.Stats().NoiseDropped != 0 || r.Stats().ForcedPops != 0 {
+		t.Fatalf("online guesses: %+v", r.Stats())
+	}
+}
+
+func TestTryRankDoneOnEmptyClosedSources(t *testing.T) {
+	eng := engine.New()
+	web := NewPushSource("web1")
+	web.Close()
+	r := New(Config{Window: time.Millisecond, IPToHost: ipToHost}, eng, []Source{web})
+	a, done := r.TryRank()
+	if a != nil || !done {
+		t.Fatalf("expected done, got %v %v", a, done)
+	}
+}
+
+func TestTryRankDropsNoiseAfterClose(t *testing.T) {
+	eng := engine.New()
+	db := NewPushSource("db1")
+	noise := act(activity.Receive, time.Millisecond, mysqlCtx,
+		activity.Channel{Src: activity.Endpoint{IP: "10.0.0.200", Port: 6000}, Dst: activity.Endpoint{IP: "10.0.0.3", Port: 3306}},
+		77, -1)
+	if err := db.Push(noise); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Window: time.Millisecond, IPToHost: ipToHost}, eng, []Source{db})
+	// While open: wait (the sender is untraced, but other traced sources
+	// could in principle exist; the conservative session waits for close).
+	db.Close()
+	a, done := r.TryRank()
+	if a != nil || !done {
+		t.Fatalf("expected noise drop then done, got %v %v (stats %+v)", a, done, r.Stats())
+	}
+	if r.Stats().NoiseDropped != 1 {
+		t.Fatalf("noise not dropped: %+v", r.Stats())
+	}
+}

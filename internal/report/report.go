@@ -1,0 +1,139 @@
+// Package report renders a correlation run as a self-contained HTML page:
+// run summary, causal path patterns with latency-percentage bars, the
+// paper-style component comparison, and optional detector findings. The
+// page uses no external assets, so it can be archived next to the trace.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// Data is everything a report shows.
+type Data struct {
+	Title     string
+	Generated string
+
+	Activities      int
+	Paths           int
+	Unfinished      int
+	CorrelationTime string
+	MemoryEstimate  string
+
+	NoiseDropped  uint64
+	FilterDropped uint64
+	Swaps         uint64
+
+	Patterns []PatternView
+	Findings []analysis.Finding
+}
+
+// PatternView is one pattern's display model.
+type PatternView struct {
+	Name        string
+	Count       int
+	MeanLatency string
+	Shares      []ShareView
+}
+
+// ShareView is one latency-percentage bar.
+type ShareView struct {
+	Category string
+	Percent  float64
+	Width    int // bar width in px-ish units (0..300)
+	Mean     string
+}
+
+// Build assembles report data from a correlation result and its pattern
+// reports (from analysis.Report). Findings may be nil.
+func Build(title string, res *core.Result, reports []*analysis.PatternReport, findings []analysis.Finding) *Data {
+	d := &Data{
+		Title:           title,
+		Generated:       "PreciseTracer reproduction",
+		Activities:      res.Activities,
+		Paths:           len(res.Graphs),
+		Unfinished:      res.Unfinished(),
+		CorrelationTime: res.CorrelationTime.Round(time.Millisecond).String(),
+		MemoryEstimate:  fmt.Sprintf("%.2f MB", float64(res.EstimatedBytes())/(1<<20)),
+		NoiseDropped:    res.Ranker.NoiseDropped,
+		FilterDropped:   res.Ranker.FilterDropped,
+		Swaps:           res.Ranker.Swaps,
+		Findings:        findings,
+	}
+	for _, r := range reports {
+		pv := PatternView{
+			Name:        r.Name,
+			Count:       r.Count,
+			MeanLatency: r.MeanLatency.Round(time.Microsecond).String(),
+		}
+		for _, s := range r.Shares {
+			w := int(s.Percent * 3)
+			if w < 1 {
+				w = 1
+			}
+			if w > 300 {
+				w = 300
+			}
+			pv.Shares = append(pv.Shares, ShareView{
+				Category: s.Category,
+				Percent:  s.Percent,
+				Width:    w,
+				Mean:     s.Mean.Round(time.Microsecond).String(),
+			})
+		}
+		d.Patterns = append(d.Patterns, pv)
+	}
+	return d
+}
+
+var tmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; }
+td, th { padding: 3px 10px; text-align: left; border-bottom: 1px solid #ddd; font-size: 0.9em; }
+.bar { display: inline-block; height: 11px; background: #4a7db5; vertical-align: middle; }
+.pct { display: inline-block; width: 4.5em; text-align: right; font-variant-numeric: tabular-nums; }
+.finding { background: #fff3e0; border-left: 4px solid #e65100; padding: 6px 10px; margin: 6px 0; font-size: 0.9em; }
+.meta { color: #666; font-size: 0.85em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p class="meta">{{.Generated}}</p>
+<h2>Run summary</h2>
+<table>
+<tr><th>activities</th><td>{{.Activities}}</td></tr>
+<tr><th>causal paths</th><td>{{.Paths}}</td></tr>
+<tr><th>unfinished</th><td>{{.Unfinished}}</td></tr>
+<tr><th>correlation time</th><td>{{.CorrelationTime}}</td></tr>
+<tr><th>memory estimate</th><td>{{.MemoryEstimate}}</td></tr>
+<tr><th>noise removed (is_noise / filter)</th><td>{{.NoiseDropped}} / {{.FilterDropped}}</td></tr>
+<tr><th>concurrency swaps</th><td>{{.Swaps}}</td></tr>
+</table>
+{{if .Findings}}
+<h2>Detector findings</h2>
+{{range .Findings}}<div class="finding"><b>{{.Category}}</b> {{printf "%+.1f" .DeltaPoints}} points
+({{printf "%.1f" .BasePercent}}% &rarr; {{printf "%.1f" .NowPercent}}%): {{.Reason}}</div>{{end}}
+{{end}}
+<h2>Causal path patterns</h2>
+{{range .Patterns}}
+<h3>{{.Name}} <span class="meta">&times;{{.Count}}, mean {{.MeanLatency}}</span></h3>
+<table>
+{{range .Shares}}<tr><td>{{.Category}}</td>
+<td><span class="pct">{{printf "%.1f" .Percent}}%</span>
+<span class="bar" style="width:{{.Width}}px"></span></td>
+<td class="meta">{{.Mean}}</td></tr>
+{{end}}</table>
+{{end}}
+</body></html>
+`))
+
+// Render writes the HTML report.
+func Render(w io.Writer, d *Data) error {
+	return tmpl.Execute(w, d)
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/rubis"
+)
+
+func buildData(t *testing.T) *Data {
+	t.Helper()
+	cfg := rubis.DefaultConfig(60)
+	cfg.Scale = 0.01
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.New(core.Options{
+		Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+	}).CorrelateTrace(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := analysis.Report(out.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := []analysis.Finding{{
+		Category: "java2java", BasePercent: 10, NowPercent: 50, DeltaPoints: 40,
+		Suspect: "java", Reason: "time inside java grew",
+	}}
+	return Build("test run", out, reports, findings)
+}
+
+func TestBuildAndRender(t *testing.T) {
+	d := buildData(t)
+	if d.Paths == 0 || len(d.Patterns) == 0 {
+		t.Fatalf("data incomplete: %+v", d)
+	}
+	var sb strings.Builder
+	if err := Render(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	html := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "test run", "Causal path patterns",
+		"httpd2java", "Detector findings", "java2java", "class=\"bar\"",
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestRenderNoFindings(t *testing.T) {
+	d := buildData(t)
+	d.Findings = nil
+	var sb strings.Builder
+	if err := Render(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Detector findings") {
+		t.Fatal("empty findings should omit the section")
+	}
+}
+
+func TestBarWidthsClamped(t *testing.T) {
+	d := buildData(t)
+	for _, p := range d.Patterns {
+		for _, s := range p.Shares {
+			if s.Width < 1 || s.Width > 300 {
+				t.Fatalf("bar width %d out of range", s.Width)
+			}
+		}
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	d := buildData(t)
+	d.Title = `<script>alert("x")</script>`
+	var sb strings.Builder
+	if err := Render(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<script>alert") {
+		t.Fatal("title not escaped")
+	}
+}

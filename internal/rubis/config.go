@@ -1,0 +1,185 @@
+package rubis
+
+import (
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Faults are the injected performance problems of §5.4.2.
+type Faults struct {
+	// EJBDelay injects a random (exponential, this mean) delay into the
+	// second tier's request handling — abnormal case 1.
+	EJBDelay time.Duration
+	// DBLock serialises all queries touching the items table behind one
+	// lock, each holding it for DBLockHold extra — abnormal case 2.
+	DBLock     bool
+	DBLockHold time.Duration
+	// AppNetBandwidth, when > 0, caps the app-server node's NIC to this
+	// many bytes/second (the paper drops its Ethernet from 100 Mbps to
+	// 10 Mbps) — abnormal case 3.
+	AppNetBandwidth int64
+}
+
+// Config parametrises one RUBiS run.
+type Config struct {
+	// Clients is the number of concurrent emulated clients (§5: 100–1000).
+	Clients int
+	// Mix selects Browse_Only or Default.
+	Mix Mix
+	// MaxThreads bounds the JBoss thread pool (§5.4.1; default 40).
+	MaxThreads int
+	// HttpdWorkers bounds httpd's prefork pool; sized above Clients by
+	// default so the first tier accepts every connection.
+	HttpdWorkers int
+	// MySQLMaxConnections bounds MySQL's connection threads.
+	MySQLMaxConnections int
+	// ThinkTime is the mean (exponential) client think time.
+	ThinkTime time.Duration
+	// BackendIdleHold is how long an idle httpd->JBoss connection keeps its
+	// servlet thread before closing (mod_jk style); this is what makes
+	// MaxThreads=40 saturate around the paper's client counts.
+	BackendIdleHold time.Duration
+	// AcceptBacklog models the JBoss listen backlog: when more than this
+	// many connections already wait for a servlet thread, a new connection's
+	// SYN is dropped and retried after SynRetryPenalty — the overload
+	// behaviour behind the paper's throughput dip and response-time blowup
+	// at 800+ clients with MaxThreads=40.
+	AcceptBacklog   int
+	SynRetryPenalty time.Duration
+	// BackendConnectCost is the fixed cost of establishing a new
+	// httpd->JBoss connection (accept + AJP negotiation), paid before the
+	// servlet thread starts reading. It is what makes the httpd2java
+	// interaction a visible share of the request even before the thread
+	// pool saturates (Fig. 15's 46% at 500 clients).
+	BackendConnectCost time.Duration
+	// DBLegLatency is the per-message protocol latency on JBoss<->MySQL
+	// connections (driver handling, small-packet effects); it gives the
+	// java2mysqld / mysqld2java interactions their Fig. 17 weight.
+	DBLegLatency time.Duration
+	// Stage durations (§5.1: 2 min up ramp, 7.5 min runtime, 1 min down
+	// ramp). Scale multiplies all three for fast test runs.
+	UpRamp   time.Duration
+	Runtime  time.Duration
+	DownRamp time.Duration
+	Scale    float64
+
+	// Tracing enables the TCP_TRACE instrumentation (§5.3.2 compares
+	// enabled vs disabled). ProbeCost is the per-logged-activity overhead.
+	Tracing   bool
+	ProbeCost time.Duration
+
+	// Skew assigns per-node clock offsets/drift (§5.2 sweeps 1–500 ms).
+	Skew clock.SkewScenario
+
+	// Noise enables the §5.3.3 background generators (rlogin, ssh and a
+	// MySQL client sharing the database).
+	Noise bool
+	// NoiseSessions scales the generators; more sessions, more noise
+	// activities in the fixed duration.
+	NoiseSessions int
+
+	Faults Faults
+
+	// MarkovSessions makes each client follow a transition chain between
+	// transaction types (RUBiS's client emulator uses transition tables)
+	// instead of drawing i.i.d. from the mix weights. The stationary
+	// distribution still follows the weights; transitions add the temporal
+	// affinity real sessions have (search -> view -> bid...).
+	MarkovSessions bool
+
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's baseline setup at the given client
+// count.
+func DefaultConfig(clients int) Config {
+	return Config{
+		Clients:             clients,
+		Mix:                 BrowseOnly,
+		MaxThreads:          40,
+		HttpdWorkers:        clients + 64,
+		MySQLMaxConnections: 400,
+		ThinkTime:           5 * time.Second,
+		BackendIdleHold:     230 * time.Millisecond,
+		AcceptBacklog:       64,
+		SynRetryPenalty:     time.Second,
+		BackendConnectCost:  9 * time.Millisecond,
+		DBLegLatency:        1500 * time.Microsecond,
+		UpRamp:              2 * time.Minute,
+		Runtime:             7*time.Minute + 30*time.Second,
+		DownRamp:            time.Minute,
+		Scale:               1.0,
+		Tracing:             true,
+		ProbeCost:           25 * time.Microsecond,
+		Seed:                1,
+	}
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 100
+	}
+	if c.Mix == 0 {
+		c.Mix = BrowseOnly
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 40
+	}
+	if c.HttpdWorkers <= 0 {
+		c.HttpdWorkers = c.Clients + 64
+	}
+	if c.MySQLMaxConnections <= 0 {
+		c.MySQLMaxConnections = 400
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = 5 * time.Second
+	}
+	if c.BackendIdleHold <= 0 {
+		c.BackendIdleHold = 230 * time.Millisecond
+	}
+	if c.AcceptBacklog <= 0 {
+		c.AcceptBacklog = 64
+	}
+	if c.BackendConnectCost <= 0 {
+		c.BackendConnectCost = 9 * time.Millisecond
+	}
+	if c.DBLegLatency <= 0 {
+		c.DBLegLatency = 1500 * time.Microsecond
+	}
+	if c.SynRetryPenalty <= 0 {
+		c.SynRetryPenalty = time.Second
+	}
+	if c.UpRamp <= 0 {
+		c.UpRamp = 2 * time.Minute
+	}
+	if c.Runtime <= 0 {
+		c.Runtime = 7*time.Minute + 30*time.Second
+	}
+	if c.DownRamp <= 0 {
+		c.DownRamp = time.Minute
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.ProbeCost <= 0 {
+		c.ProbeCost = 25 * time.Microsecond
+	}
+	if c.NoiseSessions <= 0 {
+		c.NoiseSessions = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// stageDurations returns the scaled session stages.
+func (c Config) stageDurations() (up, run, down time.Duration) {
+	up = time.Duration(float64(c.UpRamp) * c.Scale)
+	run = time.Duration(float64(c.Runtime) * c.Scale)
+	down = time.Duration(float64(c.DownRamp) * c.Scale)
+	return up, run, down
+}

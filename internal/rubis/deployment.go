@@ -1,0 +1,548 @@
+package rubis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/des"
+	"repro/internal/groundtruth"
+	"repro/internal/testbed"
+)
+
+// EntryPort is the web tier's service port used by the §3.1 BEGIN/END
+// classification.
+const EntryPort = 80
+
+// Well-known internal ports.
+const (
+	appPort = 8009 // httpd -> JBoss (AJP-style)
+	dbPort  = 3306 // JBoss -> MySQL
+)
+
+// Result is the outcome of one RUBiS run: the workload-side metrics and the
+// TCP_TRACE logs the Correlator consumes.
+type Result struct {
+	Config  Config
+	Metrics *Metrics
+
+	// Trace is the merged multi-node log (IDs in collection order);
+	// PerHost the per-node logs.
+	Trace   []*activity.Activity
+	PerHost map[string][]*activity.Activity
+	// IPToHost maps traced node addresses for the ranker.
+	IPToHost map[string]string
+	// Truth is the ground-truth table built from the testbed's request
+	// tags (the paper's modified-RUBiS request IDs).
+	Truth *groundtruth.Truth
+	// NoiseActivities counts logged activities not caused by any request.
+	NoiseActivities int
+}
+
+// entityPool manages a bounded pool of execution entities whose identities
+// (TIDs) are recycled LIFO — maximising the thread-reuse pattern the
+// engine's same-CAG check must defeat.
+type entityPool struct {
+	node    *testbed.Node
+	program string
+	pid     int
+	tokens  *des.TokenPool
+	free    []testbed.Entity
+}
+
+func newEntityPool(sim *des.Simulator, node *testbed.Node, program string, capacity int) *entityPool {
+	return &entityPool{
+		node:    node,
+		program: program,
+		pid:     node.AllocPID(),
+		tokens:  des.NewTokenPool(sim, capacity),
+	}
+}
+
+func (p *entityPool) acquire(fn func(testbed.Entity)) {
+	p.tokens.Acquire(func() {
+		var e testbed.Entity
+		if n := len(p.free); n > 0 {
+			e = p.free[n-1]
+			p.free = p.free[:n-1]
+		} else {
+			e = p.node.NewEntity(p.program, p.pid, p.node.AllocPID())
+		}
+		fn(e)
+	})
+}
+
+func (p *entityPool) release(e testbed.Entity) {
+	p.free = append(p.free, e)
+	p.tokens.Release()
+}
+
+// waiting returns the number of queued acquisitions.
+func (p *entityPool) waiting() int { return p.tokens.Waiting() }
+
+// deployment wires the Fig. 7 topology together.
+type deployment struct {
+	cfg     Config
+	cluster *testbed.Cluster
+	sim     *des.Simulator
+
+	web, app, db *testbed.Node
+	clientNodes  []*testbed.Node
+
+	jbossThreads *entityPool
+	mysqlThreads *entityPool
+	dbLock       *des.TokenPool
+
+	rng     *des.RNG // service-demand draws
+	metrics *Metrics
+	nextReq int64
+	stopAll time.Duration
+}
+
+type request struct {
+	id     int64
+	tx     *Transaction
+	cl     *client
+	sentAt time.Duration
+}
+
+type client struct {
+	d      *deployment
+	id     int
+	ent    testbed.Entity
+	conn   *testbed.Conn
+	worker *worker
+	rng    *des.RNG
+	stopAt time.Duration
+	txW    []float64
+	lastTx int // previous transaction index (-1 initially), for Markov mode
+}
+
+type worker struct {
+	ent testbed.Entity
+	bc  *backendConn
+}
+
+type backendConn struct {
+	conn      *testbed.Conn
+	thread    testbed.Entity
+	attached  bool
+	closed    bool
+	idleTimer *des.Event
+	dbc       *dbConn
+	cur       *request
+}
+
+type dbConn struct {
+	conn     *testbed.Conn
+	thread   testbed.Entity
+	attached bool
+	cur      *request
+}
+
+// Run executes one RUBiS session and returns its result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clients > cfg.HttpdWorkers {
+		return nil, fmt.Errorf("rubis: %d clients exceed %d httpd workers", cfg.Clients, cfg.HttpdWorkers)
+	}
+	d := build(cfg)
+	d.start()
+	d.sim.Run()
+	return d.result(), nil
+}
+
+func build(cfg Config) *deployment {
+	cl := testbed.NewCluster()
+	d := &deployment{
+		cfg:     cfg,
+		cluster: cl,
+		sim:     cl.Sim(),
+		rng:     des.NewRNG(cfg.Seed * 7919),
+	}
+	// The traced tiers (Fig. 7). Node clocks follow the skew scenario; node
+	// index spreads offsets across the traced machines.
+	d.web = cl.AddNode(testbed.NodeConfig{
+		Name: "web1", IP: "10.0.1.1", Cores: 2, Traced: true,
+		ProbeCost: cfg.ProbeCost, Clock: cfg.Skew.ClockFor(0, 3),
+	})
+	d.app = cl.AddNode(testbed.NodeConfig{
+		Name: "app1", IP: "10.0.1.2", Cores: 2, Traced: true,
+		ProbeCost: cfg.ProbeCost, Clock: cfg.Skew.ClockFor(1, 3),
+	})
+	d.db = cl.AddNode(testbed.NodeConfig{
+		Name: "db1", IP: "10.0.1.3", Cores: 2, Traced: true,
+		ProbeCost: cfg.ProbeCost, Clock: cfg.Skew.ClockFor(2, 3),
+	})
+	for i := 0; i < 3; i++ {
+		d.clientNodes = append(d.clientNodes, cl.AddNode(testbed.NodeConfig{
+			Name: fmt.Sprintf("client%d", i+1), IP: fmt.Sprintf("10.0.2.%d", i+1),
+			Cores: 16, Traced: false,
+		}))
+	}
+	cl.Collector().SetEnabled(cfg.Tracing)
+
+	d.jbossThreads = newEntityPool(d.sim, d.app, "java", cfg.MaxThreads)
+	d.mysqlThreads = newEntityPool(d.sim, d.db, "mysqld", cfg.MySQLMaxConnections)
+	d.dbLock = des.NewTokenPool(d.sim, 1)
+
+	up, run, down := cfg.stageDurations()
+	d.metrics = newMetrics(up, up+run)
+	d.stopAll = up + run + down
+	return d
+}
+
+// netConfig returns the LAN behaviour; touchesApp applies the EJB_Network
+// fault's reduced NIC bandwidth on connections that traverse the app node.
+func (d *deployment) netConfig(touchesApp bool) testbed.NetConfig {
+	bw := int64(12_500_000) // 100 Mbps
+	if touchesApp && d.cfg.Faults.AppNetBandwidth > 0 {
+		bw = d.cfg.Faults.AppNetBandwidth
+	}
+	return testbed.NetConfig{
+		Latency:   120 * time.Microsecond,
+		Bandwidth: bw,
+		MSS:       1448,
+		RecvChunk: 1800, // != MSS so SEND/RECEIVE match n-to-n
+	}
+}
+
+// start launches clients (staggered over the up ramp) and noise.
+func (d *deployment) start() {
+	cfg := d.cfg
+	up, run, down := cfg.stageDurations()
+	n := cfg.Clients
+	txW := weights(cfg.Mix)
+	for i := 0; i < n; i++ {
+		i := i
+		node := d.clientNodes[i%len(d.clientNodes)]
+		c := &client{
+			d:      d,
+			id:     i,
+			ent:    node.NewEntity("client", node.AllocPID(), node.AllocPID()),
+			rng:    des.NewRNG(cfg.Seed*1_000_003 + int64(i)),
+			stopAt: up + run + time.Duration(float64(down)*float64(i+1)/float64(n)),
+			txW:    txW,
+			lastTx: -1,
+		}
+		c.conn = d.cluster.Dial(node, d.web, EntryPort, d.netConfig(false))
+		pid := d.web.AllocPID()
+		c.worker = &worker{ent: d.web.NewEntity("httpd", pid, pid)}
+		startAt := time.Duration(float64(up) * float64(i) / float64(n))
+		d.sim.ScheduleAt(startAt, func() { d.clientThink(c) })
+	}
+	if cfg.Noise {
+		d.startNoise()
+	}
+}
+
+func (d *deployment) startNoise() {
+	cfg := d.cfg
+	ext := d.clientNodes[0]
+	small := testbed.NetConfig{Latency: 150 * time.Microsecond, Bandwidth: 12_500_000}
+	// Filterable noise: interactive ssh/rlogin sessions against the web
+	// node.
+	testbed.StartNoise(d.cluster, testbed.NoiseConfig{
+		Program: "sshd", ServiceNode: d.web, ServicePort: 22, ClientNode: ext,
+		Sessions: cfg.NoiseSessions / 2, MeanInterval: 40 * time.Millisecond,
+		ReqSize: 96, RespSize: 192, ServiceDemand: 50 * time.Microsecond, Net: small,
+	}, cfg.Seed*31+1, d.stopAll)
+	testbed.StartNoise(d.cluster, testbed.NoiseConfig{
+		Program: "rlogind", ServiceNode: d.web, ServicePort: 513, ClientNode: ext,
+		Sessions: cfg.NoiseSessions / 2, MeanInterval: 60 * time.Millisecond,
+		ReqSize: 80, RespSize: 160, ServiceDemand: 50 * time.Microsecond, Net: small,
+	}, cfg.Seed*31+2, d.stopAll)
+	// Unfilterable noise: a MySQL client sharing the RUBiS database's
+	// program name and port (§5.3.3) — only is_noise can remove it.
+	testbed.StartNoise(d.cluster, testbed.NoiseConfig{
+		Program: "mysqld", ServiceNode: d.db, ServicePort: dbPort, ClientNode: ext,
+		Sessions: cfg.NoiseSessions, MeanInterval: 50 * time.Millisecond,
+		ReqSize: 128, RespSize: 1024, ServiceDemand: 500 * time.Microsecond, Net: small,
+	}, cfg.Seed*31+3, d.stopAll)
+}
+
+// draw perturbs a mean demand (truncated normal, σ = mean/5).
+func (d *deployment) draw(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return d.rng.Normal(mean, mean/5)
+}
+
+// --- client side -----------------------------------------------------------
+
+func (d *deployment) clientThink(c *client) {
+	think := c.rng.Exp(d.cfg.ThinkTime)
+	d.sim.Schedule(think, func() {
+		if d.sim.Now() >= c.stopAt {
+			return
+		}
+		d.issue(c)
+	})
+}
+
+func (d *deployment) issue(c *client) {
+	idx := c.pickTx()
+	tx := &Transactions[idx]
+	c.lastTx = idx
+	req := &request{id: d.nextReq, tx: tx, cl: c, sentAt: d.sim.Now()}
+	d.nextReq++
+	d.metrics.Issued++
+	c.conn.Send(c.ent, tx.ReqSize, req.id, nil)
+	c.conn.Read(c.ent, func() { d.onClientResponse(c, req) })
+	// The dedicated prefork worker reads the request (BEGIN).
+	c.conn.Read(c.worker.ent, func() { d.workerGotRequest(c, req) })
+}
+
+func (d *deployment) onClientResponse(c *client, req *request) {
+	rt := d.sim.Now() - req.sentAt
+	d.metrics.record(req.tx, rt, d.sim.Now())
+	d.clientThink(c)
+}
+
+// pickTx selects the next transaction: i.i.d. from the mix weights, or —
+// in Markov mode — from weights biased toward the previous transaction's
+// natural successors (browse->view->store affinity), renormalised so the
+// long-run distribution stays close to the mix.
+func (c *client) pickTx() int {
+	if !c.d.cfg.MarkovSessions || c.lastTx < 0 {
+		return c.rng.Pick(c.txW)
+	}
+	biased := make([]float64, len(c.txW))
+	copy(biased, c.txW)
+	for i := range biased {
+		if follows(c.lastTx, i) {
+			biased[i] *= 3
+		}
+	}
+	return c.rng.Pick(biased)
+}
+
+// follows encodes RUBiS-like session affinity: searches lead to item views,
+// item views lead to bid/buy pages and bid history.
+func follows(prev, next int) bool {
+	p, n := Transactions[prev].Name, Transactions[next].Name
+	switch p {
+	case "SearchItemsInCategory", "SearchItemsInRegion", "BrowseCategories", "BrowseRegions":
+		return n == "ViewItem" || n == "SearchItemsInCategory" || n == "SearchItemsInRegion"
+	case "ViewItem":
+		return n == "ViewBidHistory" || n == "ViewUserInfo" || n == "StoreBid" || n == "StoreBuyNow"
+	case "ViewBidHistory", "ViewUserInfo":
+		return n == "StoreBid" || n == "StoreComment" || n == "ViewItem"
+	default:
+		return false
+	}
+}
+
+// --- first tier: httpd ------------------------------------------------------
+
+func (d *deployment) workerGotRequest(c *client, req *request) {
+	d.web.CPU.Use(d.draw(req.tx.HTTPDemand), func() {
+		if req.tx.Static {
+			d.respond(c, req)
+			return
+		}
+		d.ensureBackend(c.worker, func() {
+			bc := c.worker.bc
+			bc.cur = req
+			bc.conn.Send(c.worker.ent, req.tx.FwdSize, req.id, nil)
+			bc.conn.Read(c.worker.ent, func() { d.workerGotReply(c, req) })
+		})
+	})
+}
+
+func (d *deployment) workerGotReply(c *client, req *request) {
+	d.web.CPU.Use(d.draw(req.tx.RespDemand), func() { d.respond(c, req) })
+}
+
+func (d *deployment) respond(c *client, req *request) {
+	c.conn.Send(c.worker.ent, req.tx.RespSize, req.id, func() {
+		if req.tx.Static {
+			// A static request never touched the backend connection; any
+			// idle timer armed by a previous dynamic request keeps running.
+			return
+		}
+		bc := c.worker.bc
+		if bc != nil && !bc.closed {
+			w := c.worker
+			if bc.idleTimer != nil {
+				bc.idleTimer.Cancel()
+			}
+			bc.idleTimer = d.sim.Schedule(d.cfg.BackendIdleHold, func() { d.closeBackend(w, bc) })
+		}
+	})
+}
+
+// ensureBackend reuses the worker's live backend connection or opens a new
+// one. The forward message is sent immediately (TCP buffers it); the JBoss
+// servlet thread is acquired asynchronously, so thread-pool waiting time
+// surfaces between the httpd SEND and the JBoss RECEIVE — the httpd2java
+// latency §5.4.1 diagnoses.
+func (d *deployment) ensureBackend(w *worker, fn func()) {
+	if bc := w.bc; bc != nil && !bc.closed {
+		if bc.idleTimer != nil {
+			bc.idleTimer.Cancel()
+			bc.idleTimer = nil
+		}
+		fn()
+		return
+	}
+	bc := &backendConn{conn: d.cluster.Dial(d.web, d.app, appPort, d.netConfig(true))}
+	w.bc = bc
+	fn()
+	attach := func() {
+		d.jbossThreads.acquire(func(e testbed.Entity) {
+			if bc.closed {
+				d.jbossThreads.release(e)
+				return
+			}
+			bc.thread = e
+			bc.attached = true
+			d.threadReadLoop(bc)
+		})
+	}
+	setup := d.cfg.BackendConnectCost
+	if d.jbossThreads.waiting() >= d.cfg.AcceptBacklog {
+		// Listen backlog overflow: the SYN is dropped; the dialer retries
+		// after the TCP retransmission timeout.
+		setup += d.cfg.SynRetryPenalty
+	}
+	// Accepting and negotiating the connection costs app-node CPU — the
+	// hardware bottleneck that caps the MaxThreads=250 configuration at the
+	// top of the client range (Fig. 16).
+	d.app.CPU.Use(3*time.Millisecond, func() {})
+	d.sim.Schedule(setup, attach)
+}
+
+// closeBackend closes the given backend connection if it is still the
+// worker's current one — a stale timer for an already-replaced connection
+// must never tear down its successor.
+func (d *deployment) closeBackend(w *worker, bc *backendConn) {
+	if bc == nil || bc.closed || w.bc != bc {
+		return
+	}
+	bc.closed = true
+	if bc.attached {
+		d.jbossThreads.release(bc.thread)
+	}
+	if bc.dbc != nil && bc.dbc.attached {
+		d.mysqlThreads.release(bc.dbc.thread)
+	}
+	bc.dbc = nil
+	w.bc = nil
+}
+
+// --- second tier: JBoss ------------------------------------------------------
+
+func (d *deployment) threadReadLoop(bc *backendConn) {
+	bc.conn.Read(bc.thread, func() {
+		if bc.closed {
+			return
+		}
+		d.jbossGotRequest(bc)
+	})
+}
+
+func (d *deployment) jbossGotRequest(bc *backendConn) {
+	req := bc.cur
+	work := func() {
+		d.app.CPU.Use(d.draw(req.tx.AppDemand), func() { d.doQuery(bc, req, 0) })
+	}
+	if d.cfg.Faults.EJBDelay > 0 {
+		// Abnormal case 1: random delay injected into the second tier.
+		d.sim.Schedule(d.rng.Exp(d.cfg.Faults.EJBDelay), work)
+		return
+	}
+	work()
+}
+
+func (d *deployment) doQuery(bc *backendConn, req *request, i int) {
+	if i >= req.tx.Queries {
+		d.app.CPU.Use(d.draw(req.tx.AppPost), func() { d.jbossRespond(bc, req) })
+		return
+	}
+	d.ensureDB(bc, func() {
+		dbc := bc.dbc
+		dbc.cur = req
+		dbc.conn.Send(bc.thread, req.tx.QuerySize, req.id, nil)
+		dbc.conn.Read(bc.thread, func() {
+			d.app.CPU.Use(d.draw(req.tx.AppPerQuery), func() { d.doQuery(bc, req, i+1) })
+		})
+	})
+}
+
+func (d *deployment) jbossRespond(bc *backendConn, req *request) {
+	bc.conn.Send(bc.thread, req.tx.AppRespSize, req.id, nil)
+	d.threadReadLoop(bc)
+}
+
+// ensureDB opens the thread's persistent DB connection on first use; the
+// MySQL connection thread attaches asynchronously like the JBoss one.
+func (d *deployment) ensureDB(bc *backendConn, fn func()) {
+	if bc.dbc != nil {
+		fn()
+		return
+	}
+	dbNet := d.netConfig(true)
+	dbNet.Latency += d.cfg.DBLegLatency
+	dbc := &dbConn{conn: d.cluster.Dial(d.app, d.db, dbPort, dbNet)}
+	bc.dbc = dbc
+	fn()
+	d.mysqlThreads.acquire(func(e testbed.Entity) {
+		if bc.closed {
+			d.mysqlThreads.release(e)
+			return
+		}
+		dbc.thread = e
+		dbc.attached = true
+		d.mysqlReadLoop(dbc)
+	})
+}
+
+// --- third tier: MySQL -------------------------------------------------------
+
+func (d *deployment) mysqlReadLoop(dbc *dbConn) {
+	dbc.conn.Read(dbc.thread, func() { d.mysqlGotQuery(dbc) })
+}
+
+func (d *deployment) mysqlGotQuery(dbc *dbConn) {
+	req := dbc.cur
+	exec := func(extraHold time.Duration, unlock func()) {
+		d.db.CPU.Use(d.draw(req.tx.DBDemand), func() {
+			d.sim.Schedule(extraHold, func() {
+				if unlock != nil {
+					unlock()
+				}
+				dbc.conn.Send(dbc.thread, req.tx.QueryRespSize, req.id, nil)
+				d.mysqlReadLoop(dbc)
+			})
+		})
+	}
+	if d.cfg.Faults.DBLock && req.tx.UsesItems {
+		// Abnormal case 2: the items table is locked; queries serialise.
+		d.dbLock.Acquire(func() { exec(d.cfg.Faults.DBLockHold, d.dbLock.Release) })
+		return
+	}
+	exec(0, nil)
+}
+
+// --- results -----------------------------------------------------------------
+
+func (d *deployment) result() *Result {
+	trace := d.cluster.Collector().Merged()
+	noise := 0
+	for _, a := range trace {
+		if a.ReqID < 0 {
+			noise++
+		}
+	}
+	return &Result{
+		Config:          d.cfg,
+		Metrics:         d.metrics,
+		Trace:           trace,
+		PerHost:         d.cluster.Collector().PerHost(),
+		IPToHost:        d.cluster.IPToHost(),
+		Truth:           groundtruth.FromTrace(trace),
+		NoiseActivities: noise,
+	}
+}

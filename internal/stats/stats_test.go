@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %f", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	// Sample variance of this classic set is 32/7.
+	want := 32.0 / 7.0
+	if math.Abs(s.Variance()-want) > 1e-9 {
+		t.Fatalf("Variance = %f, want %f", s.Variance(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(2 * time.Second)
+	if s.Mean() != 2 {
+		t.Fatalf("Mean = %f", s.Mean())
+	}
+}
+
+func TestHistogramPercentilesAgainstExact(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var sample []time.Duration
+	for i := 0; i < 20000; i++ {
+		d := time.Duration(rng.ExpFloat64() * float64(40*time.Millisecond))
+		h.Add(d)
+		sample = append(sample, d)
+	}
+	exact := Percentiles(sample, 0.5, 0.95, 0.99)
+	for i, q := range []float64{0.5, 0.95, 0.99} {
+		got := h.Percentile(q)
+		lo := time.Duration(float64(exact[i]) / 1.35)
+		hi := time.Duration(float64(exact[i]) * 1.35)
+		if got < lo || got > hi {
+			t.Fatalf("p%g = %v, exact %v (outside 35%% band)", q*100, got, exact[i])
+		}
+	}
+	if h.N() != 20000 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Add(10 * time.Millisecond)
+	h.Add(30 * time.Millisecond)
+	if h.Mean() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 30*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramUnderflow(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 1.5, 10)
+	h.Add(time.Microsecond) // under the first bucket
+	if h.Percentile(0.5) != time.Millisecond {
+		t.Fatalf("underflow percentile = %v", h.Percentile(0.5))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Percentile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should be zero")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	f := FitLinear(xs, ys)
+	if math.Abs(f.A-1) > 1e-9 || math.Abs(f.B-2) > 1e-9 {
+		t.Fatalf("fit = %v", f)
+	}
+	if f.R2 < 0.9999 {
+		t.Fatalf("R2 = %f", f.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if f := FitLinear([]float64{1}, []float64{2}); f.N != 0 {
+		t.Fatal("single point should return zero fit")
+	}
+	if f := FitLinear([]float64{2, 2}, []float64{1, 5}); f.B != 0 {
+		t.Fatal("vertical data should not produce a slope")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline %q", flat)
+	}
+}
+
+func TestPercentilesExact(t *testing.T) {
+	sample := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := Percentiles(sample, 0.5, 1.0)
+	if got[0] != 5 || got[1] != 10 {
+		t.Fatalf("percentiles = %v", got)
+	}
+	empty := Percentiles(nil, 0.5)
+	if empty[0] != 0 {
+		t.Fatal("empty sample should yield zeros")
+	}
+}
+
+// Property: histogram percentiles are monotone in q.
+func TestPropertyHistogramMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		h := NewLatencyHistogram()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			h.Add(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summary mean matches the arithmetic mean.
+func TestPropertySummaryMean(t *testing.T) {
+	f := func(values []float64) bool {
+		var s Summary
+		var sum float64
+		count := 0
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s.Add(v)
+			sum += v
+			count++
+		}
+		if count == 0 {
+			return s.N() == 0
+		}
+		want := sum / float64(count)
+		return math.Abs(s.Mean()-want) <= 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
