@@ -1,0 +1,30 @@
+# Local CI gate for the PreciseTracer reproduction.
+#
+#   make ci      # everything below, in order
+#   make race    # the concurrency gate for the sharded correlator
+#
+# The race and bench targets exist because of the concurrent correlation
+# pipeline (core.Options.Workers > 1): every change to core, flow, ranker
+# or engine must keep `go test -race ./...` clean and should watch the
+# BenchmarkCorrelateSharded numbers.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...

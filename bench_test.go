@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cag"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/flow"
 	"repro/internal/rubis"
 )
 
@@ -78,6 +80,45 @@ func BenchmarkCorrelate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(res.Trace)), "activities/op")
+}
+
+// BenchmarkCorrelateSharded measures the concurrent pipeline against the
+// sequential pass on one trace — the speedup trajectory lives in
+// BENCH_pipeline.json (see TestPipelineSpeedupTrajectory).
+func BenchmarkCorrelateSharded(b *testing.B) {
+	res := benchTrace(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.Options{
+				Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort},
+				IPToHost: res.IPToHost, Workers: workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := core.New(opts).CorrelateTrace(res.Trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out.Graphs) == 0 {
+					b.Fatal("no output")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartition isolates the shard-key stage (union-find closure
+// over channels and context epochs) of the concurrent pipeline.
+func BenchmarkPartition(b *testing.B) {
+	res := benchTrace(b)
+	classified := classify(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if comps := flow.Partition(classified, flow.ModeFlow); len(comps) == 0 {
+			b.Fatal("no components")
+		}
+	}
+	b.ReportMetric(float64(len(classified)), "activities/op")
 }
 
 // BenchmarkCorrelateWideWindow isolates the window-size cost (Fig. 10's

@@ -39,6 +39,7 @@ func run() error {
 		threshold = flag.Float64("threshold", 8, "alert threshold in latency-share percentage points")
 		entryPort = flag.Int("entryport", 80, "first-tier service port")
 		chunk     = flag.Int("chunk", 256, "records pushed between drain rounds")
+		workers   = flag.Int("workers", 1, "correlation workers; >1 replays through the sharded batch pipeline instead of the push-mode session, 0 uses all CPUs")
 	)
 	flag.Parse()
 	if *inDir == "" {
@@ -65,30 +66,45 @@ func run() error {
 	})
 
 	merged := activity.Merge(perHost)
-	sess, err := core.NewSession(core.Options{
+	opts := core.Options{
 		Window:     *window,
 		EntryPorts: []int{*entryPort},
 		IPToHost:   activity.InferIPToHost(merged),
 		OnGraph:    func(g *cag.Graph) { monitor.Ingest(g) },
-	}, hosts)
-	if err != nil {
-		return err
 	}
 
-	// Replay in approximate arrival order: global timestamp order, pushed
-	// per-host (which preserves each host's local order).
-	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
-	pushed := 0
-	for _, a := range merged {
-		if err := sess.Push(a); err != nil {
+	nWorkers := core.ResolveWorkers(*workers)
+	var res *core.Result
+	var pushed int
+	if nWorkers > 1 {
+		// Batch replay through the sharded pipeline: the merge stage
+		// delivers CAGs in END-timestamp order, which is exactly the
+		// ordering contract Monitor.Ingest needs.
+		opts.Workers = nWorkers
+		res, err = core.New(opts).CorrelateTrace(merged)
+		if err != nil {
 			return err
 		}
-		pushed++
-		if pushed%*chunk == 0 {
-			sess.Drain()
+		pushed = len(merged)
+	} else {
+		sess, err := core.NewSession(opts, hosts)
+		if err != nil {
+			return err
 		}
+		// Replay in approximate arrival order: global timestamp order,
+		// pushed per-host (which preserves each host's local order).
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
+		for _, a := range merged {
+			if err := sess.Push(a); err != nil {
+				return err
+			}
+			pushed++
+			if pushed%*chunk == 0 {
+				sess.Drain()
+			}
+		}
+		res = sess.Close()
 	}
-	res := sess.Close()
 	monitor.Flush()
 
 	fmt.Printf("replayed %d activities from %d hosts; %d causal paths; correlation %v\n",

@@ -52,6 +52,9 @@ func run() error {
 		hops      = flag.Bool("hops", false, "print per-component latency distributions (p50/p95/p99)")
 		outliers  = flag.Int("outliers", 0, "show the N slowest requests and their dominant component")
 		lint      = flag.Bool("lint", false, "check the trace for integrity problems before correlating")
+		workers   = flag.Int("workers", 1, "correlation worker goroutines; >1 runs the sharded concurrent pipeline, 0 uses all CPUs")
+		shardBy   = flag.String("shardby", "flow", "shard partition policy for -workers >1: flow (request epochs) or context (whole context lifetimes)")
+		batch     = flag.Int("batch", 0, "flow components per pipeline batch (0 = default)")
 	)
 	flag.Parse()
 	if *in == "" && *inDir == "" {
@@ -62,10 +65,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	nWorkers := core.ResolveWorkers(*workers)
+	var mode core.ShardMode
+	switch *shardBy {
+	case "flow":
+		mode = core.ShardByFlow
+	case "context":
+		mode = core.ShardByContext
+	default:
+		return fmt.Errorf("unknown -shardby %q (want flow or context)", *shardBy)
+	}
 	opts := core.Options{
 		Window:          *window,
 		EntryPorts:      ports,
 		PaperExactNoise: *paperMode,
+		Workers:         nWorkers,
+		ShardBy:         mode,
+		BatchSize:       *batch,
 	}
 	if *deny != "" {
 		m := make(map[string]bool)
@@ -126,8 +142,16 @@ func run() error {
 		res.Engine.MergedSends, res.Engine.PartialReceives,
 		res.Engine.DiscardedSends, res.Engine.DiscardedReceives, res.Engine.DiscardedEnds,
 		res.Engine.ThreadReuseBreaks)
-	fmt.Printf("memory estimate: %.2f MB (peak buffered %d activities, %d resident vertices)\n",
-		float64(res.EstimatedBytes())/(1<<20), res.PeakBufferedActivities, res.PeakResidentVertices)
+	if nWorkers > 1 {
+		// Parallel mode materialises the full trace and holds every
+		// finished CAG through the merge; the correlator-state peaks
+		// below are per-shard maxima, not the process footprint.
+		fmt.Printf("memory estimate: %.2f MB largest-shard correlator state (peak buffered %d activities, %d resident vertices; batch mode keeps the whole trace resident)\n",
+			float64(res.EstimatedBytes())/(1<<20), res.PeakBufferedActivities, res.PeakResidentVertices)
+	} else {
+		fmt.Printf("memory estimate: %.2f MB (peak buffered %d activities, %d resident vertices)\n",
+			float64(res.EstimatedBytes())/(1<<20), res.PeakBufferedActivities, res.PeakResidentVertices)
+	}
 
 	if *accuracy {
 		truth := groundtruth.FromTrace(trace)

@@ -12,7 +12,11 @@
 //
 // Layout:
 //
-//	internal/core        Correlator façade (the public entry point)
+//	internal/core        Correlator façade (the public entry point), both
+//	                     the sequential pass and the sharded concurrent
+//	                     pipeline (Options.Workers > 1)
+//	internal/flow        shard-key computation: union-find closure over
+//	                     TCP channels and context epochs
 //	internal/ranker      candidate selection: sliding window, Rule 1/2,
 //	                     is_noise, concurrency-disturbance swap (§4.1, §4.3)
 //	internal/engine      CAG construction: mmap/cmap, n-to-n SEND/RECEIVE
@@ -32,4 +36,31 @@
 // Binaries: cmd/rubisgen (generate traces), cmd/precisetracer (offline
 // correlator CLI), cmd/experiments (regenerate the evaluation). Runnable
 // walk-throughs live under examples/.
+//
+// # Concurrency architecture
+//
+// The paper's correlator is sequential; this reproduction adds a sharded
+// concurrent mode (core.Options{Workers, ShardBy, BatchSize}) for batch
+// traces, keyed on three guarantees:
+//
+//   - Shard key. Two activities can interact only through the engine's
+//     mmap (same TCP connection) or cmap (same execution context), so
+//     internal/flow closes the trace under those relations with a
+//     union-find and correlates each connected component independently.
+//     ShardByFlow additionally breaks context chains at request-epoch
+//     boundaries (thread-pool reuse must not fuse unrelated requests);
+//     ShardByContext keeps whole context lifetimes together.
+//   - Merge order. Each shard runs the unmodified ranker+engine pair; the
+//     merge stage re-sorts finished CAGs by END timestamp — exactly the
+//     sequential completion order — so Result.Graphs and the OnGraph
+//     stream are byte-identical to the sequential pass on well-formed
+//     traces (enforced by TestParallelEquivalence).
+//   - Backpressure. Components travel to the worker pool in batches over
+//     a bounded channel (2×Workers in flight), so the dispatcher blocks
+//     when workers fall behind and the number of live rankers/engines
+//     stays proportional to Workers, not to the trace size.
+//
+// Push-mode Sessions (online correlation) remain sequential: their safety
+// rule — never emit while an open stream could change the decision — is a
+// global property that sharding would not preserve.
 package repro

@@ -57,8 +57,36 @@ type Options struct {
 
 	// OnGraph, when non-nil, streams each finished CAG instead of
 	// accumulating all of them in the Result — bounding memory for long
-	// traces.
+	// traces. With Workers > 1 the callback is invoked from the merge
+	// stage only (single-goroutine), in the same deterministic END-
+	// timestamp order the sequential path emits — but the memory bound is
+	// weaker there: the merge stage holds every finished CAG until all
+	// shards complete (a completed-components watermark is a ROADMAP
+	// follow-up), so only the sequential path keeps the output side
+	// O(in-flight).
 	OnGraph func(*cag.Graph)
+
+	// Workers selects the correlation execution mode. 0 or 1 runs the
+	// original single-threaded ranker+engine pass. Workers > 1 runs the
+	// sharded concurrent pipeline: the trace is partitioned into
+	// independent flow components (see internal/flow), correlated by a
+	// pool of Workers goroutines over bounded channels, and merged back
+	// into deterministic END-timestamp order, so the graphs are identical
+	// to the sequential output on well-formed traces. Parallel mode
+	// materialises the trace in memory (it is an offline/batch mode);
+	// push-mode Sessions stay sequential regardless, as does
+	// PaperExactNoise (the Fig. 5 predicate reads the global window
+	// buffer, which sharding would change). CLIs mapping a "0 = all
+	// CPUs" flag should resolve it with ResolveWorkers.
+	Workers int
+
+	// ShardBy selects the partition policy for Workers > 1; see ShardMode.
+	ShardBy ShardMode
+
+	// BatchSize is the number of flow components handed to a worker per
+	// pipeline batch (Workers > 1 only). Defaults to 8. Smaller batches
+	// spread load; larger batches cut channel traffic.
+	BatchSize int
 }
 
 // Result is the outcome of a correlation run.
@@ -88,6 +116,12 @@ type Result struct {
 // EstimatedBytes approximates the Correlator's peak working-set size from
 // its two dominant populations. The per-item constants approximate the
 // in-memory size of an Activity record and a CAG vertex with bookkeeping.
+//
+// The figure describes the sequential correlator's state (the Fig. 11
+// accounting). In parallel mode (Workers > 1) the underlying peaks are
+// per-shard maxima and the pipeline additionally keeps the whole
+// materialised trace plus all finished CAGs resident, so this estimate
+// is a large undercount of the process footprint there.
 func (r *Result) EstimatedBytes() int64 {
 	const activityBytes = 192
 	const vertexBytes = 256
@@ -130,6 +164,9 @@ func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error)
 		cp.Type = cls.Classify(a)
 		classified[i] = &cp
 	}
+	if c.useParallel() {
+		return c.correlateParallel(classified, len(classified))
+	}
 	byHost := ranker.SplitByHost(classified)
 	sources := make([]ranker.Source, 0, len(byHost))
 	for _, host := range sortedKeys(byHost) {
@@ -140,27 +177,33 @@ func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error)
 
 // CorrelateSources runs the pipeline over pre-classified per-node sources.
 // totalHint sizes the result accounting; pass 0 when unknown.
+//
+// With Workers > 1 the sources are drained into memory first (flow
+// partitioning needs the whole trace), trading the sequential path's
+// bounded-window memory for shard throughput.
 func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*Result, error) {
+	if c.useParallel() {
+		var classified []*activity.Activity
+		for _, s := range sources {
+			for {
+				a := s.Pop()
+				if a == nil {
+					break
+				}
+				classified = append(classified, a)
+			}
+		}
+		if totalHint == 0 {
+			totalHint = len(classified)
+		}
+		return c.correlateParallel(classified, totalHint)
+	}
 	var engOpts []engine.Option
 	if c.opts.OnGraph != nil {
 		engOpts = append(engOpts, engine.WithOutputFunc(c.opts.OnGraph))
 	}
-	eng := engine.New(engOpts...)
-	rk := ranker.New(ranker.Config{
-		Window:          c.opts.Window,
-		IPToHost:        c.opts.IPToHost,
-		Filter:          c.opts.Filter,
-		PaperExactNoise: c.opts.PaperExactNoise,
-	}, eng, sources)
-
 	start := time.Now()
-	for {
-		a := rk.Rank()
-		if a == nil {
-			break
-		}
-		eng.Handle(a)
-	}
+	rk, eng := c.drive(sources, engOpts...)
 	elapsed := time.Since(start)
 
 	res := &Result{
@@ -173,6 +216,29 @@ func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*
 		PeakResidentVertices:   eng.PeakResidentVertices(),
 	}
 	return res, nil
+}
+
+// drive runs the ranker+engine pair to exhaustion over per-node sources —
+// the paper's sequential correlator. It is the single definition of the
+// hot loop: CorrelateSources runs it over the whole trace, and every
+// shard of the concurrent pipeline runs it over one flow component, so
+// the two execution modes cannot drift apart.
+func (c *Correlator) drive(sources []ranker.Source, engOpts ...engine.Option) (*ranker.Ranker, *engine.Engine) {
+	eng := engine.New(engOpts...)
+	rk := ranker.New(ranker.Config{
+		Window:          c.opts.Window,
+		IPToHost:        c.opts.IPToHost,
+		Filter:          c.opts.Filter,
+		PaperExactNoise: c.opts.PaperExactNoise,
+	}, eng, sources)
+	for {
+		a := rk.Rank()
+		if a == nil {
+			break
+		}
+		eng.Handle(a)
+	}
+	return rk, eng
 }
 
 func sortedKeys(m map[string][]*activity.Activity) []string {

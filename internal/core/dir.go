@@ -54,7 +54,9 @@ func (s *classifySource) Pop() *activity.Activity {
 // TCP_TRACE logs (<host>.trace or <host>.trace.gz, as written by
 // activity.WriteHostLogs / rubisgen -splitdir). Memory stays bounded by the
 // sliding window instead of the trace size. Use Options.OnGraph to also
-// bound the output side.
+// bound the output side. With Options.Workers > 1 the logs are
+// materialised for flow partitioning (see CorrelateSources), trading the
+// bounded-memory property for shard throughput.
 //
 // If Options.IPToHost is nil the traced-node map is inferred with a cheap
 // first pass over the logs.

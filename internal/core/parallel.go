@@ -1,0 +1,250 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/cag"
+	"repro/internal/engine"
+	"repro/internal/flow"
+	"repro/internal/ranker"
+)
+
+// ShardMode selects the partition policy of the concurrent correlator
+// (Options.ShardBy). Both policies shard by TCP flow key — the union-find
+// closure over channels and contexts computed by internal/flow — and both
+// produce graphs identical to the sequential pass; they differ in how the
+// context relation is scoped, i.e. how fine the shards get.
+type ShardMode int
+
+const (
+	// ShardByFlow (default) breaks context chains at request-epoch
+	// boundaries: thread-pool reuse does not merge unrelated requests into
+	// one shard. Finest sharding, exact on well-formed traces.
+	ShardByFlow ShardMode = iota
+	// ShardByContext unions a context's whole lifetime — coarser shards
+	// that stay exact even when epoch boundaries are unrecoverable
+	// (heavily truncated or lossy traces).
+	ShardByContext
+)
+
+// String implements fmt.Stringer.
+func (m ShardMode) String() string { return m.flowMode().String() }
+
+func (m ShardMode) flowMode() flow.Mode {
+	if m == ShardByContext {
+		return flow.ModeContext
+	}
+	return flow.ModeFlow
+}
+
+// shardBatch is one unit of work on the bounded pipeline channel.
+type shardBatch struct {
+	start int // index of the first component in the batch
+	comps []flow.Component
+}
+
+// shardResult is one component's correlation output, tagged with its
+// deterministic component index for the merge stage.
+type shardResult struct {
+	index        int
+	graphs       []*cag.Graph
+	rstats       ranker.Stats
+	estats       engine.Stats
+	peakResident int
+}
+
+// ResolveWorkers maps a CLI-style worker-count flag onto Options.Workers:
+// 0 means "all CPUs" (GOMAXPROCS), negatives mean sequential, positives
+// pass through. Options.Workers itself treats 0 as sequential so that the
+// zero value of Options keeps the original single-threaded behaviour;
+// this helper is the one place the friendlier flag convention lives.
+func ResolveWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 0 {
+		return 1
+	}
+	return n
+}
+
+// useParallel reports whether the Workers option selects the sharded
+// pipeline. PaperExactNoise forces the sequential pass: the literal
+// Fig. 5 is_noise predicate depends on the global window buffer, so
+// shard-local buffers could change the ablation's drop decisions — and
+// exact paper semantics are that mode's entire point.
+func (c *Correlator) useParallel() bool {
+	return c.opts.Workers > 1 && !c.opts.PaperExactNoise
+}
+
+// correlateParallel is the Workers > 1 hot path: partition the classified
+// trace into independent flow components, correlate them on a bounded
+// worker pipeline, and merge the shard outputs deterministically.
+//
+// Concurrency contract:
+//   - the jobs channel is bounded (2×Workers batches), so the dispatcher
+//     blocks when workers fall behind — backpressure bounds the number of
+//     in-flight shard states (rankers, engines, unfinished CAGs);
+//   - each component is correlated by exactly one worker with a private
+//     ranker+engine pair; no correlation state is shared across
+//     goroutines;
+//   - the merge stage restores the sequential emission order by sorting
+//     finished graphs on END timestamp (components break ties), which is
+//     the order the sequential engine completes them in, so OnGraph
+//     observers see the same stream either way.
+func (c *Correlator) correlateParallel(classified []*activity.Activity, totalHint int) (*Result, error) {
+	workers := c.opts.Workers
+	batchSize := c.opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+
+	start := time.Now()
+	comps := flow.Partition(classified, c.opts.ShardBy.flowMode())
+
+	jobs := make(chan shardBatch, 2*workers)
+	results := make(chan shardResult, 2*workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				for i, comp := range b.comps {
+					results <- c.correlateShard(b.start+i, comp)
+				}
+			}
+		}()
+	}
+	go func() {
+		for at := 0; at < len(comps); at += batchSize {
+			end := at + batchSize
+			if end > len(comps) {
+				end = len(comps)
+			}
+			jobs <- shardBatch{start: at, comps: comps[at:end]}
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	res := &Result{Activities: totalHint}
+	type taggedGraph struct {
+		g    *cag.Graph
+		comp int
+		pos  int
+	}
+	var tagged []taggedGraph
+	for sr := range results {
+		for pos, g := range sr.graphs {
+			tagged = append(tagged, taggedGraph{g: g, comp: sr.index, pos: pos})
+		}
+		addRankerStats(&res.Ranker, sr.rstats)
+		addEngineStats(&res.Engine, sr.estats)
+		if sr.rstats.PeakBuffered > res.PeakBufferedActivities {
+			res.PeakBufferedActivities = sr.rstats.PeakBuffered
+		}
+		if sr.peakResident > res.PeakResidentVertices {
+			res.PeakResidentVertices = sr.peakResident
+		}
+	}
+
+	// Deterministic merge: global END-timestamp order — the sequential
+	// completion order. Ties reproduce the sequential ranker's behaviour
+	// too: equal-timestamp ENDs on different hosts are delivered in
+	// sorted host order (Rule 2 keeps the first queue on a tie; queues
+	// are built in sorted host order), and within one host in log order,
+	// which record IDs preserve (every trace producer assigns IDs in
+	// per-host log order). Component/position order is the final
+	// fallback for ID-less hand-built traces.
+	sort.Slice(tagged, func(i, j int) bool {
+		ei, ej := tagged[i].g.End(), tagged[j].g.End()
+		if ei.Timestamp != ej.Timestamp {
+			return ei.Timestamp < ej.Timestamp
+		}
+		if ei.Ctx.Host != ej.Ctx.Host {
+			return ei.Ctx.Host < ej.Ctx.Host
+		}
+		if a, b := ei.Records[0].ID, ej.Records[0].ID; a != b {
+			return a < b
+		}
+		if tagged[i].comp != tagged[j].comp {
+			return tagged[i].comp < tagged[j].comp
+		}
+		return tagged[i].pos < tagged[j].pos
+	})
+
+	if c.opts.OnGraph != nil {
+		for _, t := range tagged {
+			c.opts.OnGraph(t.g)
+		}
+	} else {
+		res.Graphs = make([]*cag.Graph, len(tagged))
+		for i, t := range tagged {
+			res.Graphs[i] = t.g
+		}
+	}
+	res.CorrelationTime = time.Since(start)
+	return res, nil
+}
+
+// correlateShard runs the unmodified sequential ranker+engine pass over
+// one flow component. Shards never share correlation state, so the code
+// the paper describes runs as-is — concurrency lives entirely around it.
+func (c *Correlator) correlateShard(index int, comp flow.Component) shardResult {
+	runs := comp.HostRuns()
+	sources := make([]ranker.Source, 0, len(runs))
+	for _, run := range runs {
+		sources = append(sources, ranker.NewSliceSource(run[0].Ctx.Host, run))
+	}
+	rk, eng := c.drive(sources)
+	return shardResult{
+		index:        index,
+		graphs:       eng.Outputs(),
+		rstats:       rk.Stats(),
+		estats:       eng.Stats(),
+		peakResident: eng.PeakResidentVertices(),
+	}
+}
+
+// addRankerStats accumulates shard counters. Counter fields sum across
+// shards; PeakBuffered is aggregated separately (the parallel Result
+// reports the largest single-shard peak — the Fig. 11 global-buffer
+// figure is a sequential-mode concept).
+func addRankerStats(dst *ranker.Stats, s ranker.Stats) {
+	dst.Fetched += s.Fetched
+	dst.Delivered += s.Delivered
+	dst.FilterDropped += s.FilterDropped
+	dst.NoiseDropped += s.NoiseDropped
+	dst.Swaps += s.Swaps
+	dst.Extensions += s.Extensions
+	dst.ForcedPops += s.ForcedPops
+	if s.PeakBuffered > dst.PeakBuffered {
+		dst.PeakBuffered = s.PeakBuffered
+	}
+}
+
+func addEngineStats(dst *engine.Stats, s engine.Stats) {
+	dst.Begins += s.Begins
+	dst.Finished += s.Finished
+	dst.MergedSends += s.MergedSends
+	dst.MergedBegins += s.MergedBegins
+	dst.MergedEnds += s.MergedEnds
+	dst.PartialReceives += s.PartialReceives
+	dst.Receives += s.Receives
+	dst.Sends += s.Sends
+	dst.DiscardedSends += s.DiscardedSends
+	dst.DiscardedReceives += s.DiscardedReceives
+	dst.DiscardedEnds += s.DiscardedEnds
+	dst.OverrunReceives += s.OverrunReceives
+	dst.ReplacedSends += s.ReplacedSends
+	dst.ThreadReuseBreaks += s.ThreadReuseBreaks
+}

@@ -1,0 +1,276 @@
+// Package flow partitions a classified activity trace into independent
+// correlation components — the shard key of the concurrent correlator.
+//
+// Two activities can influence each other's CAG only through one of the
+// engine's two index maps: mmap (keyed by the TCP channel) or cmap (keyed
+// by the execution context). Closing the trace under those two relations
+// yields connected components that correlate independently: running the
+// sequential ranker+engine per component produces the same graphs as one
+// global pass, because every cross-activity lookup stays inside a
+// component.
+//
+// The channel relation is exact: SEND/RECEIVE byte matching (Fig. 4) is
+// per directed channel, and both directions of one TCP connection belong
+// together (request and reply share the socket pair), so the shard key
+// normalises the endpoint pair. The context relation is where the two
+// partition modes differ:
+//
+//   - ModeContext unions everything a context ever touches. Thread pools
+//     (one JBoss thread serving many connections over its lifetime) chain
+//     otherwise-unrelated requests into large components — always safe,
+//     sometimes coarse.
+//   - ModeFlow (the default) scopes the context relation to request
+//     epochs: a context's link chain is broken whenever it starts working
+//     on a message that is not connected to what it was doing before (a
+//     BEGIN or RECEIVE on a channel from a different component). Thread
+//     reuse across requests then no longer merges their components. This
+//     matches the engine's own thread-reuse defence (the same-CAG check of
+//     Fig. 3 lines 29–32): the context edge a RECEIVE would inherit from a
+//     previous epoch is suppressed there too, so splitting the epochs
+//     changes no graph.
+package flow
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/ranker"
+)
+
+// Mode selects how the context relation is closed over.
+type Mode int
+
+const (
+	// ModeFlow scopes context links to request epochs (finest safe
+	// sharding for well-formed traces).
+	ModeFlow Mode = iota
+	// ModeContext unions a context's entire lifetime (coarser, robust
+	// even to traces with lost epoch boundaries).
+	ModeContext
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeFlow:
+		return "flow"
+	case ModeContext:
+		return "context"
+	default:
+		return "unknown"
+	}
+}
+
+// dsu is a union-find forest over dynamically allocated nodes.
+type dsu struct {
+	parent []int32
+	rank   []int8
+}
+
+func (d *dsu) node() int32 {
+	n := int32(len(d.parent))
+	d.parent = append(d.parent, n)
+	d.rank = append(d.rank, 0)
+	return n
+}
+
+func (d *dsu) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+}
+
+// chanInfo is the interned view of one directed channel: the union-find
+// node shared by both directions of the connection, and whether any
+// SEND/END was logged in this direction (a RECEIVE on a send-less
+// direction is inert — the engine can never match it).
+type chanInfo struct {
+	node    int32
+	sendful bool
+}
+
+// Component is one independent shard of the trace. Activities keep each
+// host's local-clock order (the order the per-node sources need).
+type Component struct {
+	// Activities holds the member records grouped by host in sorted host
+	// order, each host run in local-timestamp order. Consumers can slice
+	// per-node sources out of it by cutting at host changes — no re-sort
+	// is ever needed.
+	Activities []*activity.Activity
+	// MinTimestamp is the earliest member timestamp — the deterministic
+	// component ordering key.
+	MinTimestamp time.Duration
+}
+
+// HostRuns cuts the component into its per-host runs, in sorted host
+// order. Each run is one node's log slice in local-timestamp order.
+func (c *Component) HostRuns() [][]*activity.Activity {
+	var runs [][]*activity.Activity
+	at := 0
+	for i := 1; i <= len(c.Activities); i++ {
+		if i == len(c.Activities) || c.Activities[i].Ctx.Host != c.Activities[at].Ctx.Host {
+			runs = append(runs, c.Activities[at:i])
+			at = i
+		}
+	}
+	return runs
+}
+
+// Partition splits a classified trace into independent components. The
+// result is deterministic for a given input order: components are sorted
+// by (earliest member timestamp, first appearance in the host-major scan),
+// and members preserve per-host stable timestamp order.
+func Partition(trace []*activity.Activity, mode Mode) []Component {
+	if len(trace) == 0 {
+		return nil
+	}
+
+	// Per-host local order, as the paper's step 1 sorts each node log.
+	byHost := make(map[string][]*activity.Activity)
+	for _, a := range trace {
+		byHost[a.Ctx.Host] = append(byHost[a.Ctx.Host], a)
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+		log := byHost[h]
+		// Node logs split from a merged trace are almost always already in
+		// local order; checking is ~10× cheaper than re-sorting. The
+		// fallback must be ranker.SortByTimestamp — shard-local source
+		// order has to match the sequential pass exactly.
+		for i := 1; i < len(log); i++ {
+			if log[i].Timestamp < log[i-1].Timestamp {
+				ranker.SortByTimestamp(log)
+				break
+			}
+		}
+	}
+	sort.Strings(hosts)
+
+	// Interning pre-pass: one map lookup per activity in the main scan.
+	// Both directions of a connection share one union-find node.
+	var d dsu
+	dirInfo := make(map[activity.Channel]*chanInfo)
+	for _, a := range trace {
+		ci := dirInfo[a.Chan]
+		if ci == nil {
+			if rev := dirInfo[a.Chan.Reverse()]; rev != nil {
+				ci = &chanInfo{node: rev.node}
+			} else {
+				ci = &chanInfo{node: d.node()}
+			}
+			dirInfo[a.Chan] = ci
+		}
+		if a.Type == activity.Send || a.Type == activity.End {
+			ci.sendful = true
+		}
+	}
+
+	assign := make([]int32, 0, len(trace))
+	scan := make([]*activity.Activity, 0, len(trace))
+
+	switch mode {
+	case ModeContext:
+		ctxNode := make(map[activity.Context]int32)
+		for _, h := range hosts {
+			for _, a := range byHost[h] {
+				ch := dirInfo[a.Chan].node
+				cn, ok := ctxNode[a.Ctx]
+				if !ok {
+					cn = d.node()
+					ctxNode[a.Ctx] = cn
+				}
+				d.union(cn, ch)
+				assign = append(assign, cn)
+				scan = append(scan, a)
+			}
+		}
+	default: // ModeFlow
+		epoch := make(map[activity.Context]int32)
+		for _, h := range hosts {
+			for _, a := range byHost[h] {
+				ci := dirInfo[a.Chan]
+				ch := ci.node
+				var n int32
+				switch a.Type {
+				case activity.Begin:
+					e, ok := epoch[a.Ctx]
+					if ok && d.find(e) == d.find(ch) {
+						n = e
+					} else {
+						e = d.node()
+						d.union(e, ch)
+						epoch[a.Ctx] = e
+						n = e
+					}
+				case activity.Receive:
+					e, ok := epoch[a.Ctx]
+					switch {
+					case ok && d.find(e) == d.find(ch):
+						n = e
+					case !ci.sendful:
+						// Inert arrival: file it under its connection and
+						// leave the context's epoch untouched.
+						n = ch
+					default:
+						e = d.node()
+						d.union(e, ch)
+						epoch[a.Ctx] = e
+						n = e
+					}
+				default: // Send, End, MaxType
+					e, ok := epoch[a.Ctx]
+					if !ok {
+						e = d.node()
+						epoch[a.Ctx] = e
+					}
+					d.union(e, ch)
+					n = e
+				}
+				assign = append(assign, n)
+				scan = append(scan, a)
+			}
+		}
+	}
+
+	// Group by final root, tracking first-appearance order and minimum
+	// timestamp per component.
+	compIdx := make(map[int32]int)
+	var comps []Component
+	for i, a := range scan {
+		root := d.find(assign[i])
+		ci, ok := compIdx[root]
+		if !ok {
+			ci = len(comps)
+			compIdx[root] = ci
+			comps = append(comps, Component{MinTimestamp: a.Timestamp})
+		}
+		c := &comps[ci]
+		c.Activities = append(c.Activities, a)
+		if a.Timestamp < c.MinTimestamp {
+			c.MinTimestamp = a.Timestamp
+		}
+	}
+
+	sort.SliceStable(comps, func(i, j int) bool {
+		return comps[i].MinTimestamp < comps[j].MinTimestamp
+	})
+	return comps
+}

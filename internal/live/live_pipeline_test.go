@@ -1,0 +1,70 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cag"
+	"repro/internal/core"
+	"repro/internal/rubis"
+)
+
+// TestMonitorFedByShardedPipeline drives the monitor from the concurrent
+// correlator's OnGraph stream (the livemon -workers >1 path) and checks
+// that the interval history matches a sequential push-mode session feed:
+// the pipeline's END-timestamp merge order satisfies Ingest's ordering
+// contract, so bucketing, baselines and alerts must not change.
+func TestMonitorFedByShardedPipeline(t *testing.T) {
+	cfg := rubis.DefaultConfig(120)
+	cfg.Scale = 0.03
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	monitorCfg := Config{
+		Interval:          2 * time.Second,
+		BaselineIntervals: 2,
+		MinRequests:       5,
+	}
+	feed := func(workers int) *Monitor {
+		m := NewMonitor(monitorCfg)
+		out, err := core.New(core.Options{
+			Window:     10 * time.Millisecond,
+			EntryPorts: []int{rubis.EntryPort},
+			IPToHost:   res.IPToHost,
+			Workers:    workers,
+			OnGraph:    func(g *cag.Graph) { m.Ingest(g) },
+		}).CorrelateTrace(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Graphs) != 0 {
+			t.Fatalf("OnGraph mode accumulated %d graphs", len(out.Graphs))
+		}
+		m.Flush()
+		return m
+	}
+
+	seq := feed(1)
+	par := feed(4)
+
+	if seq.Ingested() == 0 {
+		t.Fatal("sequential feed ingested nothing")
+	}
+	if par.Ingested() != seq.Ingested() {
+		t.Fatalf("ingested %d graphs via pipeline, %d sequentially", par.Ingested(), seq.Ingested())
+	}
+	if par.Intervals() != seq.Intervals() {
+		t.Fatalf("closed %d intervals via pipeline, %d sequentially", par.Intervals(), seq.Intervals())
+	}
+	sh, ph := seq.History(), par.History()
+	for i := range sh {
+		if sh[i] != ph[i] {
+			t.Fatalf("interval %d differs:\npipeline   %+v\nsequential %+v", i, ph[i], sh[i])
+		}
+	}
+	if len(par.Alerts()) != len(seq.Alerts()) {
+		t.Fatalf("pipeline raised %d alerts, sequential %d", len(par.Alerts()), len(seq.Alerts()))
+	}
+}

@@ -426,9 +426,13 @@ func (r *Ranker) Rank() *activity.Activity {
 
 		// Rule 1: a head RECEIVE whose SEND already reached the engine —
 		// size-aware: the pending SEND must cover this segment's bytes.
+		// The HasPendingSend guard keeps a zero-size RECEIVE from matching
+		// vacuously (PendingBytes reports 0 both for "nothing pending" and
+		// for a drained entry); the engine cannot attach it either way.
 		for _, q := range r.queues {
 			h := q.peek()
-			if h != nil && h.Type == activity.Receive && r.index.PendingBytes(h.Chan) >= h.Size {
+			if h != nil && h.Type == activity.Receive &&
+				r.index.HasPendingSend(h.Chan) && r.index.PendingBytes(h.Chan) >= h.Size {
 				return r.take(q)
 			}
 		}
@@ -591,10 +595,12 @@ func (r *Ranker) TryRank() (a *activity.Activity, done bool) {
 	}
 	r.refill()
 
-	// Rule 1 is always safe: the SEND is already in the engine.
+	// Rule 1 is always safe: the SEND is already in the engine. As in
+	// Rank, HasPendingSend guards the vacuous zero-size match.
 	for _, q := range r.queues {
 		h := q.peek()
-		if h != nil && h.Type == activity.Receive && r.index.PendingBytes(h.Chan) >= h.Size {
+		if h != nil && h.Type == activity.Receive &&
+			r.index.HasPendingSend(h.Chan) && r.index.PendingBytes(h.Chan) >= h.Size {
 			return r.take(q), false
 		}
 	}

@@ -1,0 +1,160 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rubis"
+)
+
+// benchEntry is one measured configuration in the BENCH_pipeline.json
+// trajectory.
+type benchEntry struct {
+	Scale      float64 `json:"scale"`
+	Clients    int     `json:"clients"`
+	Activities int     `json:"activities"`
+	Graphs     int     `json:"graphs"`
+	Workers    int     `json:"workers"`
+	ShardBy    string  `json:"shard_by"`
+	BestNs     int64   `json:"best_ns"`
+	Speedup    float64 `json:"speedup_vs_seq"`
+}
+
+type benchReport struct {
+	Benchmark  string       `json:"benchmark"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Note       string       `json:"note,omitempty"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// TestPipelineSpeedupTrajectory measures the sharded correlator against
+// the sequential pass across RUBiS scales and worker counts, and records
+// the trajectory in BENCH_pipeline.json. On a multi-core machine the
+// sharded pipeline must beat sequential wall-clock at scale >= 0.1; on a
+// single-CPU machine there is no parallelism to win with (the pipeline
+// pays partition + merge overhead and gets no concurrent shard
+// execution), so the comparison is recorded but not asserted.
+func TestPipelineSpeedupTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup trajectory is not measured in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-instrumented timings are 5-20x off; not overwriting BENCH_pipeline.json")
+	}
+
+	report := benchReport{
+		Benchmark:  "sharded concurrent correlation pipeline vs sequential correlator",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	multiCore := runtime.NumCPU() >= 2
+	if !multiCore {
+		report.Note = "single-CPU host: parallel speedup not expected; entries record pipeline overhead"
+	}
+
+	measure := func(res *rubis.Result, workers int) time.Duration {
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			out, err := core.New(core.Options{
+				Window:     10 * time.Millisecond,
+				EntryPorts: []int{rubis.EntryPort},
+				IPToHost:   res.IPToHost,
+				Workers:    workers,
+			}).CorrelateTrace(res.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Graphs) == 0 {
+				t.Fatal("no graphs")
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	type scaleCase struct {
+		scale   float64
+		clients int
+	}
+	cases := []scaleCase{{0.02, 300}, {0.05, 300}, {0.1, 300}}
+	workerCounts := []int{1, 2, 4, 8}
+
+	atScaleTenth := map[int]time.Duration{}
+	for _, sc := range cases {
+		cfg := rubis.DefaultConfig(sc.clients)
+		cfg.Scale = sc.scale
+		res, err := rubis.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var graphs int
+		{
+			out, err := core.New(core.Options{
+				Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+			}).CorrelateTrace(res.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphs = len(out.Graphs)
+		}
+		var seq time.Duration
+		for _, w := range workerCounts {
+			best := measure(res, w)
+			if w == 1 {
+				seq = best
+			}
+			if sc.scale >= 0.1 {
+				atScaleTenth[w] = best
+			}
+			report.Entries = append(report.Entries, benchEntry{
+				Scale: sc.scale, Clients: sc.clients, Activities: len(res.Trace), Graphs: graphs,
+				Workers: w, ShardBy: core.ShardByFlow.String(), BestNs: int64(best),
+				Speedup: float64(seq) / float64(best),
+			})
+			t.Logf("scale=%.2f workers=%d best=%v (%.2fx vs sequential)", sc.scale, w, best, float64(seq)/float64(best))
+		}
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if multiCore {
+		seq, bestPar := atScaleTenth[1], time.Duration(1<<62)
+		bestWorkers := 0
+		for w, d := range atScaleTenth {
+			if w > 1 && d < bestPar {
+				bestPar, bestWorkers = d, w
+			}
+		}
+		if bestPar >= seq {
+			// One retry with fresh measurements before failing: a loaded
+			// CI host can skew a single 3-repetition sample.
+			cfg := rubis.DefaultConfig(300)
+			cfg.Scale = 0.1
+			res, err := rubis.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, bestPar = measure(res, 1), measure(res, bestWorkers)
+		}
+		if bestPar >= seq {
+			t.Fatalf("multi-core host (%d CPUs) but sharded pipeline (%v) did not beat sequential (%v) at scale 0.1",
+				runtime.NumCPU(), bestPar, seq)
+		}
+	} else {
+		t.Logf("single-CPU host: skipping the multi-core speedup assertion (results recorded in BENCH_pipeline.json)")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports that this test binary runs under the race
+// detector: timing measurements are 5–20× off and must not overwrite
+// recorded benchmark trajectories.
+const raceEnabled = true
