@@ -10,9 +10,14 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+# Minimum combined statement coverage for the correlator's concurrency
+# core (internal/core + internal/flow) — the packages the sharded batch
+# pipeline and the sharded push-mode session live in.
+COVER_MIN ?= 85
 
-ci: vet build test race bench
+.PHONY: ci vet build test race cover bench
+
+ci: vet build test race cover bench
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +30,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/flow
+	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) '/^total:/ { pct = $$3; sub(/%/, "", pct); printf "coverage: %s%% of statements in internal/core+internal/flow (minimum %s%%)\n", pct, min; exit (pct + 0 < min + 0) }'
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...

@@ -39,7 +39,7 @@ func run() error {
 		threshold = flag.Float64("threshold", 8, "alert threshold in latency-share percentage points")
 		entryPort = flag.Int("entryport", 80, "first-tier service port")
 		chunk     = flag.Int("chunk", 256, "records pushed between drain rounds")
-		workers   = flag.Int("workers", 1, "correlation workers; >1 replays through the sharded batch pipeline instead of the push-mode session, 0 uses all CPUs")
+		workers   = flag.Int("workers", 1, "correlation workers; >1 shards the push-mode session per flow component, 0 uses all CPUs")
 	)
 	flag.Parse()
 	if *inDir == "" {
@@ -73,42 +73,42 @@ func run() error {
 		OnGraph:    func(g *cag.Graph) { monitor.Ingest(g) },
 	}
 
-	nWorkers := core.ResolveWorkers(*workers)
-	var res *core.Result
-	var pushed int
-	if nWorkers > 1 {
-		// Batch replay through the sharded pipeline: the merge stage
-		// delivers CAGs in END-timestamp order, which is exactly the
-		// ordering contract Monitor.Ingest needs.
-		opts.Workers = nWorkers
-		res, err = core.New(opts).CorrelateTrace(merged)
-		if err != nil {
-			return err
-		}
-		pushed = len(merged)
-	} else {
-		sess, err := core.NewSession(opts, hosts)
-		if err != nil {
-			return err
-		}
-		// Replay in approximate arrival order: global timestamp order,
-		// pushed per-host (which preserves each host's local order).
-		sort.SliceStable(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
-		for _, a := range merged {
-			if err := sess.Push(a); err != nil {
-				return err
-			}
-			pushed++
-			if pushed%*chunk == 0 {
-				sess.Drain()
-			}
-		}
-		res = sess.Close()
+	// Both worker counts run the push-mode session: with Workers > 1 it is
+	// the sharded session, whose watermark emitter delivers CAGs in the
+	// END-timestamp order Monitor.Ingest needs.
+	opts.Workers = core.ResolveWorkers(*workers)
+	sess, err := core.NewSession(opts, hosts)
+	if err != nil {
+		return err
 	}
+	// Replay in approximate arrival order: global timestamp order,
+	// pushed per-host (which preserves each host's local order).
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
+	var pushed int
+	for _, a := range merged {
+		if err := sess.Push(a); err != nil {
+			return err
+		}
+		pushed++
+		if pushed%*chunk == 0 {
+			sess.Drain()
+		}
+	}
+	res := sess.Close()
 	monitor.Flush()
 
 	fmt.Printf("replayed %d activities from %d hosts; %d causal paths; correlation %v\n",
 		pushed, len(hosts), monitor.Ingested(), res.CorrelationTime.Round(time.Millisecond))
+	if res.SequentialFallback != "" {
+		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", opts.Workers, res.SequentialFallback)
+	}
+	if res.Shards > 0 {
+		fmt.Printf("sharded session: %d flow components across %d workers; per-shard peaks: %d buffered activities, %d resident vertices (largest shard)\n",
+			res.Shards, opts.Workers, res.PeakBufferedActivities, res.PeakResidentVertices)
+	}
+	if n := monitor.OutOfOrder(); n > 0 {
+		fmt.Printf("warning: %d CAGs arrived out of END-timestamp order; interval statistics may be skewed\n", n)
+	}
 	fmt.Print(monitor.Summary())
 	fmt.Println()
 	fmt.Print(monitor.HistoryTable())

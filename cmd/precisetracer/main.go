@@ -142,12 +142,15 @@ func run() error {
 		res.Engine.MergedSends, res.Engine.PartialReceives,
 		res.Engine.DiscardedSends, res.Engine.DiscardedReceives, res.Engine.DiscardedEnds,
 		res.Engine.ThreadReuseBreaks)
-	if nWorkers > 1 {
+	if res.SequentialFallback != "" {
+		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", nWorkers, res.SequentialFallback)
+	}
+	if nWorkers > 1 && res.SequentialFallback == "" {
 		// Parallel mode materialises the full trace and holds every
 		// finished CAG through the merge; the correlator-state peaks
 		// below are per-shard maxima, not the process footprint.
-		fmt.Printf("memory estimate: %.2f MB largest-shard correlator state (peak buffered %d activities, %d resident vertices; batch mode keeps the whole trace resident)\n",
-			float64(res.EstimatedBytes())/(1<<20), res.PeakBufferedActivities, res.PeakResidentVertices)
+		fmt.Printf("memory estimate: %.2f MB largest-shard correlator state across %d shards (peak buffered %d activities, %d resident vertices; batch mode keeps the whole trace resident)\n",
+			float64(res.EstimatedBytes())/(1<<20), res.Shards, res.PeakBufferedActivities, res.PeakResidentVertices)
 	} else {
 		fmt.Printf("memory estimate: %.2f MB (peak buffered %d activities, %d resident vertices)\n",
 			float64(res.EstimatedBytes())/(1<<20), res.PeakBufferedActivities, res.PeakResidentVertices)

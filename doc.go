@@ -60,7 +60,39 @@
 //     when workers fall behind and the number of live rankers/engines
 //     stays proportional to Workers, not to the trace size.
 //
-// Push-mode Sessions (online correlation) remain sequential: their safety
-// rule — never emit while an open stream could change the decision — is a
-// global property that sharding would not preserve.
+// The partition stage itself is parallel (flow.PartitionParallel):
+// context epochs are host-local, so per-host scans run concurrently and
+// a final union pass stitches the cross-host channel links — output
+// byte-identical to the sequential scan.
+//
+// # Online sharding (sharded Sessions)
+//
+// Push-mode Sessions honour Options.Workers too (core/session_parallel.go).
+// The online safety rule — never emit while an open stream could change
+// the decision — is preserved by moving it from activities to components:
+//
+//   - Incremental partition. flow.Incremental assigns each pushed
+//     activity to a flow component as it arrives and fuses components
+//     when a TCP connection or context epoch links them (a merge
+//     callback folds the buffers). Where the batch scan consults global
+//     knowledge the online scan cannot have (a RECEIVE arriving before
+//     its SEND), it unions more, never less — coarser shards stay exact.
+//   - Completion watermarks. An activity can only join a component from
+//     a host owning one of the component's channel endpoints, so once
+//     every contributing host has closed (CloseHost), the component is
+//     sealed: handed to a worker-pool running the unmodified sequential
+//     ranker+engine over it.
+//   - Watermark emitter. Finished CAGs are released in deterministic
+//     END-timestamp order, held back while any pending component or open
+//     stream could still produce an earlier END. The full emitted
+//     sequence is byte-identical to the sequential Session's for the
+//     same push order (TestParallelSessionEquivalence); mid-run, Drain
+//     releases an order-consistent prefix that grows as streams close —
+//     a deployment that never calls CloseHost sees its output at Close,
+//     where the sequential session emits each CAG as it becomes
+//     decidable (sealing is close-driven; see ROADMAP).
+//
+// PaperExactNoise still forces the sequential pass (the Fig. 5 predicate
+// reads the global window buffer); that degradation is surfaced in
+// Result.SequentialFallback instead of happening silently.
 package repro

@@ -59,11 +59,11 @@ type Options struct {
 	// accumulating all of them in the Result — bounding memory for long
 	// traces. With Workers > 1 the callback is invoked from the merge
 	// stage only (single-goroutine), in the same deterministic END-
-	// timestamp order the sequential path emits — but the memory bound is
-	// weaker there: the merge stage holds every finished CAG until all
-	// shards complete (a completed-components watermark is a ROADMAP
-	// follow-up), so only the sequential path keeps the output side
-	// O(in-flight).
+	// timestamp order the sequential path emits. The batch pipeline's
+	// merge stage holds every finished CAG until all shards complete;
+	// sharded Sessions release graphs incrementally as their completion
+	// watermark advances (see session_parallel.go), so long-running
+	// online use keeps the output side bounded by the open components.
 	OnGraph func(*cag.Graph)
 
 	// Workers selects the correlation execution mode. 0 or 1 runs the
@@ -72,12 +72,14 @@ type Options struct {
 	// independent flow components (see internal/flow), correlated by a
 	// pool of Workers goroutines over bounded channels, and merged back
 	// into deterministic END-timestamp order, so the graphs are identical
-	// to the sequential output on well-formed traces. Parallel mode
-	// materialises the trace in memory (it is an offline/batch mode);
-	// push-mode Sessions stay sequential regardless, as does
-	// PaperExactNoise (the Fig. 5 predicate reads the global window
-	// buffer, which sharding would change). CLIs mapping a "0 = all
-	// CPUs" flag should resolve it with ResolveWorkers.
+	// to the sequential output on well-formed traces. Batch parallel mode
+	// materialises the trace in memory; push-mode Sessions with
+	// Workers > 1 instead shard incrementally with per-component
+	// completion watermarks (see NewSession). PaperExactNoise always
+	// forces the sequential pass (the Fig. 5 predicate reads the global
+	// window buffer, which sharding would change) and is surfaced via
+	// Result.SequentialFallback. CLIs mapping a "0 = all CPUs" flag
+	// should resolve it with ResolveWorkers.
 	Workers int
 
 	// ShardBy selects the partition policy for Workers > 1; see ShardMode.
@@ -108,10 +110,28 @@ type Result struct {
 
 	// PeakBufferedActivities and PeakResidentVertices drive the Fig. 11
 	// memory accounting: the ranker's buffer plus the engine's unfinished
-	// CAGs dominate the Correlator's footprint.
+	// CAGs dominate the Correlator's footprint. In sharded runs these are
+	// the largest single shard's peaks.
 	PeakBufferedActivities int
 	PeakResidentVertices   int
+
+	// Shards is the number of flow components correlated by the sharded
+	// pipeline (batch or push-mode). 0 for a sequential run.
+	Shards int
+
+	// SequentialFallback is non-empty when Workers > 1 was requested but
+	// the run degraded to the single-threaded pass anyway, naming the
+	// reason (currently only FallbackPaperExactNoise). Callers that care
+	// about throughput should surface it instead of silently accepting
+	// sequential speed.
+	SequentialFallback string
 }
+
+// FallbackPaperExactNoise is the Result.SequentialFallback reason set when
+// PaperExactNoise forces a Workers > 1 request onto the sequential pass:
+// the literal Fig. 5 is_noise predicate reads the global window buffer,
+// which shard-local buffers would change.
+const FallbackPaperExactNoise = "PaperExactNoise forces the sequential pass (the Fig. 5 predicate reads the global window buffer)"
 
 // EstimatedBytes approximates the Correlator's peak working-set size from
 // its two dominant populations. The per-item constants approximate the
@@ -214,8 +234,18 @@ func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*
 		Engine:                 eng.Stats(),
 		PeakBufferedActivities: rk.Stats().PeakBuffered,
 		PeakResidentVertices:   eng.PeakResidentVertices(),
+		SequentialFallback:     c.fallbackReason(),
 	}
 	return res, nil
+}
+
+// fallbackReason names why a Workers > 1 request is running sequentially,
+// or "" when it is not degraded (satisfied, or never requested).
+func (c *Correlator) fallbackReason() string {
+	if c.opts.Workers > 1 && !c.useParallel() {
+		return FallbackPaperExactNoise
+	}
+	return ""
 }
 
 // drive runs the ranker+engine pair to exhaustion over per-node sources —

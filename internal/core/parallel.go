@@ -57,6 +57,43 @@ type shardResult struct {
 	peakResident int
 }
 
+// taggedGraph is one finished CAG tagged with its deterministic
+// provenance (component ordering key, emission position within the
+// shard) for the merge stage — shared by the batch pipeline and the
+// sharded Session's watermark emitter.
+type taggedGraph struct {
+	g    *cag.Graph
+	comp int
+	pos  int
+}
+
+// sortTagged restores the sequential emission order: global
+// END-timestamp order. Ties reproduce the sequential ranker's behaviour
+// too: equal-timestamp ENDs on different hosts are delivered in sorted
+// host order (Rule 2 keeps the first queue on a tie; queues are built in
+// sorted host order), and within one host in log order, which record IDs
+// preserve (every trace producer assigns IDs in per-host log order).
+// Component/position order is the final fallback for ID-less hand-built
+// traces.
+func sortTagged(tagged []taggedGraph) {
+	sort.Slice(tagged, func(i, j int) bool {
+		ei, ej := tagged[i].g.End(), tagged[j].g.End()
+		if ei.Timestamp != ej.Timestamp {
+			return ei.Timestamp < ej.Timestamp
+		}
+		if ei.Ctx.Host != ej.Ctx.Host {
+			return ei.Ctx.Host < ej.Ctx.Host
+		}
+		if a, b := ei.Records[0].ID, ej.Records[0].ID; a != b {
+			return a < b
+		}
+		if tagged[i].comp != tagged[j].comp {
+			return tagged[i].comp < tagged[j].comp
+		}
+		return tagged[i].pos < tagged[j].pos
+	})
+}
+
 // ResolveWorkers maps a CLI-style worker-count flag onto Options.Workers:
 // 0 means "all CPUs" (GOMAXPROCS), negatives mean sequential, positives
 // pass through. Options.Workers itself treats 0 as sequential so that the
@@ -104,7 +141,7 @@ func (c *Correlator) correlateParallel(classified []*activity.Activity, totalHin
 	}
 
 	start := time.Now()
-	comps := flow.Partition(classified, c.opts.ShardBy.flowMode())
+	comps := flow.PartitionParallel(classified, c.opts.ShardBy.flowMode(), workers)
 
 	jobs := make(chan shardBatch, 2*workers)
 	results := make(chan shardResult, 2*workers)
@@ -136,12 +173,7 @@ func (c *Correlator) correlateParallel(classified []*activity.Activity, totalHin
 		close(results)
 	}()
 
-	res := &Result{Activities: totalHint}
-	type taggedGraph struct {
-		g    *cag.Graph
-		comp int
-		pos  int
-	}
+	res := &Result{Activities: totalHint, Shards: len(comps)}
 	var tagged []taggedGraph
 	for sr := range results {
 		for pos, g := range sr.graphs {
@@ -157,30 +189,7 @@ func (c *Correlator) correlateParallel(classified []*activity.Activity, totalHin
 		}
 	}
 
-	// Deterministic merge: global END-timestamp order — the sequential
-	// completion order. Ties reproduce the sequential ranker's behaviour
-	// too: equal-timestamp ENDs on different hosts are delivered in
-	// sorted host order (Rule 2 keeps the first queue on a tie; queues
-	// are built in sorted host order), and within one host in log order,
-	// which record IDs preserve (every trace producer assigns IDs in
-	// per-host log order). Component/position order is the final
-	// fallback for ID-less hand-built traces.
-	sort.Slice(tagged, func(i, j int) bool {
-		ei, ej := tagged[i].g.End(), tagged[j].g.End()
-		if ei.Timestamp != ej.Timestamp {
-			return ei.Timestamp < ej.Timestamp
-		}
-		if ei.Ctx.Host != ej.Ctx.Host {
-			return ei.Ctx.Host < ej.Ctx.Host
-		}
-		if a, b := ei.Records[0].ID, ej.Records[0].ID; a != b {
-			return a < b
-		}
-		if tagged[i].comp != tagged[j].comp {
-			return tagged[i].comp < tagged[j].comp
-		}
-		return tagged[i].pos < tagged[j].pos
-	})
+	sortTagged(tagged)
 
 	if c.opts.OnGraph != nil {
 		for _, t := range tagged {

@@ -24,22 +24,39 @@ import (
 // That is the same no-false-positives guarantee as offline mode; the cost
 // is that CAG emission lags input by up to the in-flight depth of the
 // slowest node's stream.
+//
+// With Options.Workers > 1 the session runs the sharded push-mode
+// pipeline (see session_parallel.go): activities are assigned to flow
+// components as they arrive, sealed components are correlated by a worker
+// pool running the unmodified ranker+engine, and a watermark-based
+// emitter releases finished CAGs in deterministic END-timestamp order —
+// byte-identical to this sequential session's output for the same push
+// order. Workers <= 1 (or PaperExactNoise, which needs the global window
+// buffer) keeps the original single-threaded path; a forced fallback is
+// surfaced in Result.SequentialFallback.
+//
+// Sessions are not safe for concurrent use: Push/Drain/CloseHost/Close
+// must be called from one goroutine (the sharded mode parallelises
+// internally).
 type Session struct {
-	opts    Options
-	cls     *activity.Classifier
-	eng     *engine.Engine
-	rk      *ranker.Ranker
-	sources map[string]*ranker.PushSource
-	closed  bool
+	impl sessionImpl
+}
 
-	graphs   []*cag.Graph
-	rankTime time.Duration
-	pushed   int
+// sessionImpl is the contract both execution modes satisfy; Session is a
+// thin façade so NewSession can pick the mode from Options.Workers.
+type sessionImpl interface {
+	Push(a *activity.Activity) error
+	Drain() int
+	CloseHost(host string) error
+	Close() *Result
+	Graphs() []*cag.Graph
+	Pending() int
 }
 
 // NewSession opens an online session for the given traced hosts. Every
 // host that will produce activities must be declared up front (the
-// ranker's safety logic needs to know which streams exist).
+// ranker's safety logic needs to know which streams exist, and the
+// sharded mode's completion watermarks track per-host progress).
 func NewSession(opts Options, hosts []string) (*Session, error) {
 	if len(opts.EntryPorts) == 0 {
 		return nil, ErrNoEntryPorts
@@ -50,7 +67,63 @@ func NewSession(opts Options, hosts []string) (*Session, error) {
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("core: session needs at least one host")
 	}
-	s := &Session{
+	if opts.Workers > 1 && !opts.PaperExactNoise {
+		return &Session{impl: newParSession(opts, hosts)}, nil
+	}
+	seq := newSeqSession(opts, hosts)
+	if opts.Workers > 1 {
+		seq.fallback = FallbackPaperExactNoise
+	}
+	return &Session{impl: seq}, nil
+}
+
+// Push feeds one raw TCP_TRACE record (classification happens inside).
+// Records of one host must arrive in that host's local-clock order; hosts
+// interleave arbitrarily.
+func (s *Session) Push(a *activity.Activity) error { return s.impl.Push(a) }
+
+// Drain runs the correlator until no further candidate is safely
+// decidable, returning the number of activities processed this call. In
+// sharded mode it additionally waits for every dispatched component to
+// finish correlating and releases the graphs the watermark permits.
+func (s *Session) Drain() int { return s.impl.Drain() }
+
+// CloseHost marks one host's stream complete (its agent shut down). In
+// sharded mode this is what seals components: a flow component whose
+// every contributing host has closed can no longer grow and is handed to
+// the worker pool.
+func (s *Session) CloseHost(host string) error { return s.impl.CloseHost(host) }
+
+// Close marks every stream complete, drains the remainder and returns the
+// final result. Closing twice returns the same result.
+func (s *Session) Close() *Result { return s.impl.Close() }
+
+// Graphs returns the CAGs completed so far (when not streaming via
+// OnGraph).
+func (s *Session) Graphs() []*cag.Graph { return s.impl.Graphs() }
+
+// Pending returns the number of activities buffered but not yet decidable
+// (in sharded mode: pushed but not yet correlated by a finished shard).
+func (s *Session) Pending() int { return s.impl.Pending() }
+
+// seqSession is the original single-threaded push-mode correlator.
+type seqSession struct {
+	opts     Options
+	cls      *activity.Classifier
+	eng      *engine.Engine
+	rk       *ranker.Ranker
+	sources  map[string]*ranker.PushSource
+	closed   bool
+	fallback string
+	final    *Result
+
+	graphs   []*cag.Graph
+	rankTime time.Duration
+	pushed   int
+}
+
+func newSeqSession(opts Options, hosts []string) *seqSession {
+	s := &seqSession{
 		opts:    opts,
 		cls:     activity.NewClassifier(opts.EntryPorts...),
 		sources: make(map[string]*ranker.PushSource, len(hosts)),
@@ -72,13 +145,11 @@ func NewSession(opts Options, hosts []string) (*Session, error) {
 		Filter:          s.opts.Filter,
 		PaperExactNoise: s.opts.PaperExactNoise,
 	}, s.eng, srcs)
-	return s, nil
+	return s
 }
 
-// Push feeds one raw TCP_TRACE record (classification happens inside).
-// Records of one host must arrive in that host's local-clock order; hosts
-// interleave arbitrarily.
-func (s *Session) Push(a *activity.Activity) error {
+// Push implements sessionImpl.
+func (s *seqSession) Push(a *activity.Activity) error {
 	if s.closed {
 		return fmt.Errorf("core: push on closed session")
 	}
@@ -95,9 +166,8 @@ func (s *Session) Push(a *activity.Activity) error {
 	return nil
 }
 
-// Drain runs the correlator until no further candidate is safely
-// decidable, returning the number of activities processed this call.
-func (s *Session) Drain() int {
+// Drain implements sessionImpl.
+func (s *seqSession) Drain() int {
 	start := time.Now()
 	n := 0
 	for {
@@ -115,8 +185,8 @@ func (s *Session) Drain() int {
 	return n
 }
 
-// CloseHost marks one host's stream complete (its agent shut down).
-func (s *Session) CloseHost(host string) error {
+// CloseHost implements sessionImpl.
+func (s *seqSession) CloseHost(host string) error {
 	src, ok := s.sources[host]
 	if !ok {
 		return fmt.Errorf("core: unknown host %q", host)
@@ -125,15 +195,17 @@ func (s *Session) CloseHost(host string) error {
 	return nil
 }
 
-// Close marks every stream complete, drains the remainder and returns the
-// final result.
-func (s *Session) Close() *Result {
+// Close implements sessionImpl.
+func (s *seqSession) Close() *Result {
+	if s.closed {
+		return s.final
+	}
 	for _, src := range s.sources {
 		src.Close()
 	}
 	s.Drain()
 	s.closed = true
-	return &Result{
+	s.final = &Result{
 		Graphs:                 s.graphs,
 		CorrelationTime:        s.rankTime,
 		Activities:             s.pushed,
@@ -141,12 +213,13 @@ func (s *Session) Close() *Result {
 		Engine:                 s.eng.Stats(),
 		PeakBufferedActivities: s.rk.Stats().PeakBuffered,
 		PeakResidentVertices:   s.eng.PeakResidentVertices(),
+		SequentialFallback:     s.fallback,
 	}
+	return s.final
 }
 
-// Graphs returns the CAGs completed so far (when not streaming via
-// OnGraph).
-func (s *Session) Graphs() []*cag.Graph { return s.graphs }
+// Graphs implements sessionImpl.
+func (s *seqSession) Graphs() []*cag.Graph { return s.graphs }
 
-// Pending returns the number of activities buffered but not yet decidable.
-func (s *Session) Pending() int { return s.rk.Buffered() }
+// Pending implements sessionImpl.
+func (s *seqSession) Pending() int { return s.rk.Buffered() }

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/cag"
+	"repro/internal/engine"
+	"repro/internal/flow"
+	"repro/internal/ranker"
+)
+
+// parSession is the sharded push-mode correlator (Options.Workers > 1).
+//
+// Pipeline:
+//
+//	Push ──> incremental flow partition (internal/flow.Incremental):
+//	         every activity joins a component as it arrives; components
+//	         fuse when a TCP connection or context epoch links them.
+//	CloseHost ──> completion watermarks: a component whose every
+//	         contributing host has closed can never grow again — it is
+//	         sealed and handed to the worker pool.
+//	workers ──> each sealed component runs the unmodified sequential
+//	         ranker+engine pass (Correlator.drive), no shared state.
+//	Drain/Close ──> the watermark emitter releases finished CAGs in
+//	         deterministic END-timestamp order, holding back any graph
+//	         that a still-open stream or still-pending component could
+//	         yet precede.
+//
+// The result is byte-identical to the sequential Session for the same
+// push order on well-formed traces (TestParallelSessionEquivalence): the
+// per-component passes are exact because components are closed under the
+// engine's two lookup relations, and the emitter's order is the
+// sequential completion order.
+//
+// Contributor tracking relies on Options.IPToHost covering every declared
+// host's addresses (the same map the ranker's noise reasoning needs): an
+// activity can only extend a component from a host owning one of the
+// component's channel endpoints. Unresolvable endpoints are treated as
+// untraced, exactly like the sequential ranker treats them.
+type parSession struct {
+	opts Options
+	drv  *Correlator // sequential driver for sealed components
+	cls  *activity.Classifier
+	inc  *flow.Incremental
+
+	hosts map[string]*sessHost
+
+	comps      map[int32]*sessComponent // keyed by current union-find root
+	nextCompID int
+
+	queue      []*sessComponent // sealed, waiting for a jobs slot
+	jobs       chan *sessComponent
+	results    chan sessShardResult
+	wg         sync.WaitGroup
+	dispatched int
+	collected  int
+
+	finished []taggedGraph // correlated, held back by the watermark
+	unsorted bool          // finished gained graphs since the last sort
+	emitted  []*cag.Graph  // released (when not streaming via OnGraph)
+
+	pushed      int
+	pendingActs int
+	uncounted   int // shard deliveries not yet reported by Drain
+
+	rstats   ranker.Stats
+	estats   engine.Stats
+	peakVert int
+	shards   int
+	// workTime is the wall-clock time this session spent correlating —
+	// the time blocked in settle/pump/emit, which is the shard work's
+	// critical path, not the sum of concurrent shard times. It matches
+	// the sequential session's drain-time accounting.
+	workTime time.Duration
+
+	closed bool
+	final  *Result
+}
+
+// sessHost is one declared host's stream state.
+type sessHost struct {
+	open bool
+	any  bool // has pushed at least one activity
+	last time.Duration
+	seq  uint64
+}
+
+// pushRec pairs an activity with its per-host push sequence number, so
+// component fusion can interleave equal-timestamp records in push order —
+// the order the sequential PushSource preserves.
+type pushRec struct {
+	a   *activity.Activity
+	seq uint64
+}
+
+// sessComponent is one growing flow component of the online partition.
+type sessComponent struct {
+	id      int // creation order: deterministic ordering fallback
+	minTs   time.Duration
+	size    int
+	perHost map[string][]pushRec
+	hosts   map[string]struct{} // declared hosts that may still extend it
+	sealed  bool
+	root    int32 // current union-find root
+}
+
+// sessShardResult is one sealed component's correlation output.
+type sessShardResult struct {
+	comp         *sessComponent
+	graphs       []*cag.Graph
+	rstats       ranker.Stats
+	estats       engine.Stats
+	peakResident int
+}
+
+func newParSession(opts Options, hosts []string) *parSession {
+	drvOpts := opts
+	drvOpts.Workers = 0
+	drvOpts.OnGraph = nil
+	s := &parSession{
+		opts:    opts,
+		drv:     New(drvOpts),
+		cls:     activity.NewClassifier(opts.EntryPorts...),
+		hosts:   make(map[string]*sessHost, len(hosts)),
+		comps:   make(map[int32]*sessComponent),
+		jobs:    make(chan *sessComponent, 2*opts.Workers),
+		results: make(chan sessShardResult, 2*opts.Workers),
+	}
+	s.inc = flow.NewIncremental(opts.ShardBy.flowMode(), s.mergeComponents)
+	for _, h := range hosts {
+		if s.hosts[h] == nil {
+			s.hosts[h] = &sessHost{open: true}
+		}
+	}
+	s.wg.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *parSession) worker() {
+	defer s.wg.Done()
+	for c := range s.jobs {
+		s.results <- s.correlateComponent(c)
+	}
+}
+
+// correlateComponent runs the unmodified sequential pass over one sealed
+// component. Sources are built in sorted host order — the order every
+// other execution mode uses, which the deterministic tie-breaks rely on.
+func (s *parSession) correlateComponent(c *sessComponent) sessShardResult {
+	hosts := make([]string, 0, len(c.perHost))
+	for h := range c.perHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	sources := make([]ranker.Source, 0, len(hosts))
+	for _, h := range hosts {
+		recs := c.perHost[h]
+		as := make([]*activity.Activity, len(recs))
+		for i, r := range recs {
+			as[i] = r.a
+		}
+		sources = append(sources, ranker.NewSliceSource(h, as))
+	}
+	rk, eng := s.drv.drive(sources)
+	return sessShardResult{
+		comp:         c,
+		graphs:       eng.Outputs(),
+		rstats:       rk.Stats(),
+		estats:       eng.Stats(),
+		peakResident: eng.PeakResidentVertices(),
+	}
+}
+
+// Push implements sessionImpl: classify, assign to a flow component,
+// buffer in per-host push order.
+func (s *parSession) Push(a *activity.Activity) error {
+	if s.closed {
+		return fmt.Errorf("core: push on closed session")
+	}
+	h, ok := s.hosts[a.Ctx.Host]
+	if !ok {
+		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", a.Ctx.Host)
+	}
+	if !h.open {
+		return fmt.Errorf("core: push on closed source %s", a.Ctx.Host)
+	}
+	if h.any && a.Timestamp < h.last {
+		return fmt.Errorf("core: %s timestamp regressed (%v after %v)", a.Ctx.Host, a.Timestamp, h.last)
+	}
+	cp := *a
+	cp.Type = s.cls.Classify(a)
+	root := s.inc.Add(&cp)
+	c := s.comps[root]
+	if c == nil || c.sealed {
+		// sealed here means a late link reached an already-dispatched
+		// component (possible only with an incomplete IPToHost map);
+		// start a fresh shard rather than touching in-flight buffers.
+		c = &sessComponent{
+			id:      s.nextCompID,
+			minTs:   cp.Timestamp,
+			perHost: make(map[string][]pushRec),
+			hosts:   make(map[string]struct{}),
+			root:    root,
+		}
+		s.nextCompID++
+		s.comps[root] = c
+	}
+	c.perHost[cp.Ctx.Host] = append(c.perHost[cp.Ctx.Host], pushRec{a: &cp, seq: h.seq})
+	if cp.Timestamp < c.minTs {
+		c.minTs = cp.Timestamp
+	}
+	c.size++
+	c.hosts[cp.Ctx.Host] = struct{}{}
+	s.noteEndpoint(c, cp.Chan.Src.IP)
+	s.noteEndpoint(c, cp.Chan.Dst.IP)
+	h.seq++
+	h.last = cp.Timestamp
+	h.any = true
+	s.pushed++
+	s.pendingActs++
+	return nil
+}
+
+// noteEndpoint records a channel endpoint's owning host as a possible
+// future contributor to the component.
+func (s *parSession) noteEndpoint(c *sessComponent, ip string) {
+	if hn, ok := s.opts.IPToHost[ip]; ok {
+		if _, declared := s.hosts[hn]; declared {
+			c.hosts[hn] = struct{}{}
+		}
+	}
+}
+
+// mergeComponents is the flow.Incremental merge callback: the loser
+// root's buffers fold into the winner root's.
+func (s *parSession) mergeComponents(winner, loser int32) {
+	cw, cl := s.comps[winner], s.comps[loser]
+	if cl != nil {
+		delete(s.comps, loser)
+	}
+	switch {
+	case cl == nil:
+		return // the loser root had no buffered activities yet
+	case cw == nil:
+		cl.root = winner
+		s.comps[winner] = cl
+	default:
+		if fused := s.fuse(cw, cl, winner); fused != nil {
+			s.comps[winner] = fused
+		} else {
+			delete(s.comps, winner)
+		}
+	}
+}
+
+// fuse merges two component buffers (the larger absorbs the smaller).
+func (s *parSession) fuse(a, b *sessComponent, root int32) *sessComponent {
+	// A sealed component is already owned by the worker pool; its buffers
+	// must not be touched. Reaching one here is only possible when
+	// IPToHost fails to cover a declared host — degrade to under-merged
+	// shards instead of a data race, mirroring how the sequential ranker
+	// degrades on the same misconfiguration.
+	if a.sealed || b.sealed {
+		live := a
+		if a.sealed {
+			live = b
+		}
+		if live.sealed {
+			return nil // both in flight: nothing left to buffer into
+		}
+		live.root = root
+		return live
+	}
+	if b.size > a.size {
+		a, b = b, a
+	}
+	for h, src := range b.perHost {
+		a.perHost[h] = mergeRuns(a.perHost[h], src)
+	}
+	for h := range b.hosts {
+		a.hosts[h] = struct{}{}
+	}
+	if b.minTs < a.minTs {
+		a.minTs = b.minTs
+	}
+	if b.id < a.id {
+		a.id = b.id
+	}
+	a.size += b.size
+	a.root = root
+	return a
+}
+
+// mergeRuns interleaves two (timestamp, push-sequence)-sorted host runs.
+func mergeRuns(x, y []pushRec) []pushRec {
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := make([]pushRec, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		if y[j].a.Timestamp < x[i].a.Timestamp ||
+			(y[j].a.Timestamp == x[i].a.Timestamp && y[j].seq < x[i].seq) {
+			out = append(out, y[j])
+			j++
+		} else {
+			out = append(out, x[i])
+			i++
+		}
+	}
+	out = append(out, x[i:]...)
+	out = append(out, y[j:]...)
+	return out
+}
+
+// CloseHost implements sessionImpl: closing a stream is what seals
+// components and feeds the worker pool.
+func (s *parSession) CloseHost(host string) error {
+	h, ok := s.hosts[host]
+	if !ok {
+		return fmt.Errorf("core: unknown host %q", host)
+	}
+	start := time.Now()
+	if h.open {
+		h.open = false
+		s.sealCompleted()
+	}
+	s.pump()
+	s.workTime += time.Since(start)
+	return nil
+}
+
+// sealCompleted seals every component that no open host can extend and
+// queues it for the worker pool, in deterministic creation order.
+func (s *parSession) sealCompleted() {
+	var ready []*sessComponent
+	for _, c := range s.comps {
+		if c.sealed || s.growable(c) {
+			continue
+		}
+		c.sealed = true
+		ready = append(ready, c)
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].id < ready[j].id })
+	s.queue = append(s.queue, ready...)
+	s.shards += len(ready)
+}
+
+// growable reports whether any still-open declared host could push an
+// activity joining this component.
+func (s *parSession) growable(c *sessComponent) bool {
+	for hn := range c.hosts {
+		if hh := s.hosts[hn]; hh != nil && hh.open {
+			return true
+		}
+	}
+	return false
+}
+
+// pump moves work without blocking: queued components into free job
+// slots, finished shards out of the results channel.
+func (s *parSession) pump() {
+	for {
+		progress := false
+		if len(s.queue) > 0 {
+			select {
+			case s.jobs <- s.queue[0]:
+				s.queue = s.queue[1:]
+				s.dispatched++
+				progress = true
+			default:
+			}
+		}
+		select {
+		case r := <-s.results:
+			s.absorb(r)
+			progress = true
+		default:
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// settle dispatches everything queued and waits for every in-flight
+// shard. Blocking on results cannot deadlock: a non-empty queue with a
+// full jobs channel means workers are busy producing results.
+func (s *parSession) settle() {
+	for len(s.queue) > 0 || s.collected < s.dispatched {
+		if len(s.queue) > 0 {
+			select {
+			case s.jobs <- s.queue[0]:
+				s.queue = s.queue[1:]
+				s.dispatched++
+				continue
+			default:
+			}
+		}
+		s.absorb(<-s.results)
+	}
+}
+
+// absorb folds one shard result into the session aggregates.
+func (s *parSession) absorb(r sessShardResult) {
+	s.collected++
+	s.pendingActs -= r.comp.size
+	s.uncounted += int(r.rstats.Delivered)
+	addRankerStats(&s.rstats, r.rstats)
+	addEngineStats(&s.estats, r.estats)
+	if r.peakResident > s.peakVert {
+		s.peakVert = r.peakResident
+	}
+	for pos, g := range r.graphs {
+		s.finished = append(s.finished, taggedGraph{g: g, comp: r.comp.id, pos: pos})
+	}
+	if len(r.graphs) > 0 {
+		s.unsorted = true
+	}
+	if s.comps[r.comp.root] == r.comp {
+		delete(s.comps, r.comp.root)
+	}
+}
+
+// watermark returns the END-timestamp bound below which no future graph
+// can appear: a pending component's future graphs end at or after its
+// earliest member, and an open host can only push at or after its last
+// local timestamp (a host that never pushed bounds nothing, so nothing
+// may be released). bounded is false when no component is pending and no
+// host is open — everything may go.
+func (s *parSession) watermark() (time.Duration, bool) {
+	var wm time.Duration
+	bounded := false
+	note := func(t time.Duration) {
+		if !bounded || t < wm {
+			wm, bounded = t, true
+		}
+	}
+	for _, c := range s.comps {
+		note(c.minTs)
+	}
+	for _, h := range s.hosts {
+		if !h.open {
+			continue
+		}
+		if h.any {
+			note(h.last)
+		} else {
+			note(time.Duration(math.MinInt64)) // no lower bound yet
+		}
+	}
+	return wm, bounded
+}
+
+// emit releases finished graphs in deterministic END-timestamp order up
+// to (strictly below) the watermark; all=true releases everything.
+// Strict inequality makes cross-batch ties impossible: any graph arriving
+// later comes from a component whose minimum timestamp was at or above
+// every watermark used before, so the released stream is globally sorted.
+func (s *parSession) emit(all bool) {
+	if len(s.finished) == 0 {
+		return
+	}
+	// A released prefix leaves the remainder sorted, so an idle Drain
+	// (no shard absorbed since) skips the re-sort of the held backlog.
+	if s.unsorted {
+		sortTagged(s.finished)
+		s.unsorted = false
+	}
+	cut := len(s.finished)
+	if !all {
+		wm, bounded := s.watermark()
+		if bounded {
+			cut = sort.Search(len(s.finished), func(i int) bool {
+				return s.finished[i].g.End().Timestamp >= wm
+			})
+		}
+	}
+	if cut == 0 {
+		return
+	}
+	for _, t := range s.finished[:cut] {
+		if s.opts.OnGraph != nil {
+			s.opts.OnGraph(t.g)
+		} else {
+			s.emitted = append(s.emitted, t.g)
+		}
+	}
+	s.finished = append(s.finished[:0:0], s.finished[cut:]...)
+}
+
+// Drain implements sessionImpl: finish every decidable (sealed)
+// component and release what the watermark permits.
+func (s *parSession) Drain() int {
+	start := time.Now()
+	s.settle()
+	s.emit(false)
+	s.workTime += time.Since(start)
+	n := s.uncounted
+	s.uncounted = 0
+	return n
+}
+
+// Close implements sessionImpl.
+func (s *parSession) Close() *Result {
+	if s.closed {
+		return s.final
+	}
+	start := time.Now()
+	for _, h := range s.hosts {
+		h.open = false
+	}
+	s.sealCompleted()
+	s.settle()
+	close(s.jobs)
+	s.wg.Wait()
+	s.emit(true)
+	s.workTime += time.Since(start)
+	s.closed = true
+	s.final = &Result{
+		Graphs:                 s.emitted,
+		CorrelationTime:        s.workTime,
+		Activities:             s.pushed,
+		Ranker:                 s.rstats,
+		Engine:                 s.estats,
+		PeakBufferedActivities: s.rstats.PeakBuffered,
+		PeakResidentVertices:   s.peakVert,
+		Shards:                 s.shards,
+	}
+	return s.final
+}
+
+// Graphs implements sessionImpl.
+func (s *parSession) Graphs() []*cag.Graph { return s.emitted }
+
+// Pending implements sessionImpl: activities pushed but not yet
+// correlated by a finished shard.
+func (s *parSession) Pending() int { return s.pendingActs }

@@ -122,7 +122,7 @@ func TestSessionNoGuessingWhileOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess.Drain()
-	if st := sess.rk.Stats(); st.NoiseDropped != 0 || st.ForcedPops != 0 {
+	if st := sess.impl.(*seqSession).rk.Stats(); st.NoiseDropped != 0 || st.ForcedPops != 0 {
 		t.Fatalf("session guessed on an open stream: %+v", st)
 	}
 	if sess.Pending() == 0 {

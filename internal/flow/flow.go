@@ -83,10 +83,14 @@ func (d *dsu) find(x int32) int32 {
 	return x
 }
 
-func (d *dsu) union(a, b int32) {
+// union joins the sets of a and b. When two distinct sets merge it
+// returns their previous roots as (winner, loser) — the loser's tree is
+// now under the winner — so incremental callers can fuse per-component
+// bookkeeping; merged is false when a and b were already one set.
+func (d *dsu) union(a, b int32) (winner, loser int32, merged bool) {
 	ra, rb := d.find(a), d.find(b)
 	if ra == rb {
-		return
+		return ra, ra, false
 	}
 	if d.rank[ra] < d.rank[rb] {
 		ra, rb = rb, ra
@@ -95,15 +99,7 @@ func (d *dsu) union(a, b int32) {
 	if d.rank[ra] == d.rank[rb] {
 		d.rank[ra]++
 	}
-}
-
-// chanInfo is the interned view of one directed channel: the union-find
-// node shared by both directions of the connection, and whether any
-// SEND/END was logged in this direction (a RECEIVE on a send-less
-// direction is inert — the engine can never match it).
-type chanInfo struct {
-	node    int32
-	sendful bool
+	return ra, rb, true
 }
 
 // Component is one independent shard of the trace. Activities keep each
@@ -137,12 +133,24 @@ func (c *Component) HostRuns() [][]*activity.Activity {
 // result is deterministic for a given input order: components are sorted
 // by (earliest member timestamp, first appearance in the host-major scan),
 // and members preserve per-host stable timestamp order.
+//
+// The scan itself lives in partitionHosts (parallel.go): contexts are
+// host-local, so the trace is scanned per host and the per-host forests
+// are stitched by a final union pass over the cross-host channel links.
+// Partition runs those phases on one goroutine; PartitionParallel fans
+// the per-host scans out over a worker pool — same code, same output.
 func Partition(trace []*activity.Activity, mode Mode) []Component {
 	if len(trace) == 0 {
 		return nil
 	}
+	byHost, hosts := splitHosts(trace)
+	return partitionHosts(byHost, hosts, mode, 1)
+}
 
-	// Per-host local order, as the paper's step 1 sorts each node log.
+// splitHosts buckets a merged trace into per-host node logs in
+// local-timestamp order and returns the sorted host list — the paper's
+// step 1 (each node log sorted by its local clock).
+func splitHosts(trace []*activity.Activity) (map[string][]*activity.Activity, []string) {
 	byHost := make(map[string][]*activity.Activity)
 	for _, a := range trace {
 		byHost[a.Ctx.Host] = append(byHost[a.Ctx.Host], a)
@@ -163,99 +171,18 @@ func Partition(trace []*activity.Activity, mode Mode) []Component {
 		}
 	}
 	sort.Strings(hosts)
+	return byHost, hosts
+}
 
-	// Interning pre-pass: one map lookup per activity in the main scan.
-	// Both directions of a connection share one union-find node.
-	var d dsu
-	dirInfo := make(map[activity.Channel]*chanInfo)
-	for _, a := range trace {
-		ci := dirInfo[a.Chan]
-		if ci == nil {
-			if rev := dirInfo[a.Chan.Reverse()]; rev != nil {
-				ci = &chanInfo{node: rev.node}
-			} else {
-				ci = &chanInfo{node: d.node()}
-			}
-			dirInfo[a.Chan] = ci
-		}
-		if a.Type == activity.Send || a.Type == activity.End {
-			ci.sendful = true
-		}
-	}
-
-	assign := make([]int32, 0, len(trace))
-	scan := make([]*activity.Activity, 0, len(trace))
-
-	switch mode {
-	case ModeContext:
-		ctxNode := make(map[activity.Context]int32)
-		for _, h := range hosts {
-			for _, a := range byHost[h] {
-				ch := dirInfo[a.Chan].node
-				cn, ok := ctxNode[a.Ctx]
-				if !ok {
-					cn = d.node()
-					ctxNode[a.Ctx] = cn
-				}
-				d.union(cn, ch)
-				assign = append(assign, cn)
-				scan = append(scan, a)
-			}
-		}
-	default: // ModeFlow
-		epoch := make(map[activity.Context]int32)
-		for _, h := range hosts {
-			for _, a := range byHost[h] {
-				ci := dirInfo[a.Chan]
-				ch := ci.node
-				var n int32
-				switch a.Type {
-				case activity.Begin:
-					e, ok := epoch[a.Ctx]
-					if ok && d.find(e) == d.find(ch) {
-						n = e
-					} else {
-						e = d.node()
-						d.union(e, ch)
-						epoch[a.Ctx] = e
-						n = e
-					}
-				case activity.Receive:
-					e, ok := epoch[a.Ctx]
-					switch {
-					case ok && d.find(e) == d.find(ch):
-						n = e
-					case !ci.sendful:
-						// Inert arrival: file it under its connection and
-						// leave the context's epoch untouched.
-						n = ch
-					default:
-						e = d.node()
-						d.union(e, ch)
-						epoch[a.Ctx] = e
-						n = e
-					}
-				default: // Send, End, MaxType
-					e, ok := epoch[a.Ctx]
-					if !ok {
-						e = d.node()
-						epoch[a.Ctx] = e
-					}
-					d.union(e, ch)
-					n = e
-				}
-				assign = append(assign, n)
-				scan = append(scan, a)
-			}
-		}
-	}
-
-	// Group by final root, tracking first-appearance order and minimum
-	// timestamp per component.
+// group buckets the host-major scan by final union-find root, tracking
+// first-appearance order and minimum timestamp per component, and returns
+// the components in deterministic (MinTimestamp, first appearance) order —
+// the ordering contract every Partition variant shares.
+func group(scan []*activity.Activity, rootOf func(int) int32) []Component {
 	compIdx := make(map[int32]int)
 	var comps []Component
 	for i, a := range scan {
-		root := d.find(assign[i])
+		root := rootOf(i)
 		ci, ok := compIdx[root]
 		if !ok {
 			ci = len(comps)

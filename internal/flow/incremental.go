@@ -1,0 +1,168 @@
+package flow
+
+import (
+	"repro/internal/activity"
+)
+
+// Incremental is the online variant of Partition: it assigns each pushed
+// activity to a flow component *as it arrives*, merging components
+// whenever a TCP connection or a context epoch links them. It powers the
+// sharded push-mode Session (internal/core): the session keys its
+// per-component buffers on the roots returned by Add and fuses them in
+// the OnMerge callback.
+//
+// The closure computed is the same relation Partition closes over, with
+// one deliberate difference in ModeFlow: the batch scan can consult the
+// whole trace to see whether a directed channel ever carries a SEND (the
+// "inert receive" refinement — a RECEIVE on a send-less direction files
+// under its connection without touching the context's epoch). Online, a
+// RECEIVE may arrive before the SEND logged on its peer host, so the
+// send-less case cannot be distinguished from a not-yet-seen SEND. Add
+// therefore joins such a RECEIVE to both its connection and the context's
+// current epoch. That can only *coarsen* components relative to the batch
+// partition — extra unions never remove closure links — so per-component
+// correlation stays exact; shards are merely sometimes larger.
+//
+// Determinism: for a fixed sequence of Add calls the assignments, merges
+// and final roots are fully deterministic. Add is not safe for concurrent
+// use; the caller serialises (the Session push path is single-goroutine).
+//
+// Memory: the interning maps and union-find grow with every distinct
+// connection and epoch ever seen and are never pruned — bounded for the
+// replay/rolling-restart deployments the sharded Session targets (one
+// Session per agent generation), unbounded for a single Session fed
+// forever. Continuous operation needs session cycling today; pruning
+// dispatched components' entries is a ROADMAP follow-up alongside
+// time-driven sealing, which the same deployments would need first.
+// chanInfo is the interned view of one directed channel: the union-find
+// node shared by both directions of the connection, and whether any
+// SEND/END was logged in this direction so far (a RECEIVE on a send-less
+// direction is inert — the engine can never match it).
+type chanInfo struct {
+	node    int32
+	sendful bool
+}
+
+type Incremental struct {
+	mode    Mode
+	d       dsu
+	dir     map[activity.Channel]*chanInfo
+	epoch   map[activity.Context]int32 // ModeFlow: current request epoch
+	ctxNode map[activity.Context]int32 // ModeContext: whole-lifetime node
+	onMerge func(winner, loser int32)
+}
+
+// NewIncremental returns an empty incremental partitioner. onMerge, when
+// non-nil, fires synchronously inside Add whenever two distinct
+// components fuse: the loser root's bookkeeping must be folded into the
+// winner root's before Add returns.
+func NewIncremental(mode Mode, onMerge func(winner, loser int32)) *Incremental {
+	return &Incremental{
+		mode:    mode,
+		dir:     make(map[activity.Channel]*chanInfo),
+		epoch:   make(map[activity.Context]int32),
+		ctxNode: make(map[activity.Context]int32),
+		onMerge: onMerge,
+	}
+}
+
+func (in *Incremental) union(a, b int32) {
+	if w, l, merged := in.d.union(a, b); merged && in.onMerge != nil {
+		in.onMerge(w, l)
+	}
+}
+
+// channel interns the activity's directed channel, sharing one union-find
+// node across both directions of the connection, and records whether this
+// direction has carried a SEND/END so far.
+func (in *Incremental) channel(a *activity.Activity) *chanInfo {
+	ci := in.dir[a.Chan]
+	if ci == nil {
+		if rev := in.dir[a.Chan.Reverse()]; rev != nil {
+			ci = &chanInfo{node: rev.node}
+		} else {
+			ci = &chanInfo{node: in.d.node()}
+		}
+		in.dir[a.Chan] = ci
+	}
+	if a.Type == activity.Send || a.Type == activity.End {
+		ci.sendful = true
+	}
+	return ci
+}
+
+// Add assigns one classified activity to its flow component and returns
+// the component's current union-find root. Roots are invalidated by later
+// merges; OnMerge reports every (winner, loser) transition, and Root
+// re-resolves a stale value.
+func (in *Incremental) Add(a *activity.Activity) int32 {
+	ci := in.channel(a)
+	ch := ci.node
+
+	if in.mode == ModeContext {
+		cn, ok := in.ctxNode[a.Ctx]
+		if !ok {
+			cn = in.d.node()
+			in.ctxNode[a.Ctx] = cn
+		}
+		in.union(cn, ch)
+		return in.d.find(cn)
+	}
+
+	// ModeFlow: scope the context relation to request epochs, exactly as
+	// the batch scan does, except for the online inert-receive treatment
+	// documented on the type.
+	var n int32
+	switch a.Type {
+	case activity.Begin:
+		e, ok := in.epoch[a.Ctx]
+		if ok && in.d.find(e) == in.d.find(ch) {
+			n = e
+		} else {
+			e = in.d.node()
+			in.union(e, ch)
+			in.epoch[a.Ctx] = e
+			n = e
+		}
+	case activity.Receive:
+		e, ok := in.epoch[a.Ctx]
+		switch {
+		case ok && in.d.find(e) == in.d.find(ch):
+			n = e
+		case !ci.sendful:
+			// No SEND seen on this direction *yet*. The batch scan would
+			// file a provably send-less RECEIVE under its connection
+			// alone; online the SEND may simply not have been pushed, so
+			// join the connection to the current epoch without breaking
+			// it — coarser, never under-merged.
+			if !ok {
+				e = in.d.node()
+				in.epoch[a.Ctx] = e
+			}
+			in.union(e, ch)
+			n = e
+		default:
+			e = in.d.node()
+			in.union(e, ch)
+			in.epoch[a.Ctx] = e
+			n = e
+		}
+	default: // Send, End, MaxType
+		e, ok := in.epoch[a.Ctx]
+		if !ok {
+			e = in.d.node()
+			in.epoch[a.Ctx] = e
+		}
+		in.union(e, ch)
+		n = e
+	}
+	return in.d.find(n)
+}
+
+// Root resolves a component id previously returned by Add to its current
+// root, following any merges since.
+func (in *Incremental) Root(n int32) int32 { return in.d.find(n) }
+
+// Components returns the number of union-find nodes allocated so far —
+// an upper bound on live components, for diagnostics.
+func (in *Incremental) Components() int { return len(in.d.parent) }

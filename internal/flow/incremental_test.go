@@ -1,0 +1,154 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/activity"
+)
+
+// incrementalComponents feeds a trace through Incremental in the given
+// arrival order and groups activities by final root.
+func incrementalComponents(trace []*activity.Activity, mode Mode) map[int32][]*activity.Activity {
+	inc := NewIncremental(mode, nil)
+	roots := make([]int32, len(trace))
+	for i, a := range trace {
+		roots[i] = inc.Add(a)
+	}
+	byRoot := make(map[int32][]*activity.Activity)
+	for i, a := range trace {
+		r := inc.Root(roots[i])
+		byRoot[r] = append(byRoot[r], a)
+	}
+	return byRoot
+}
+
+func TestIncrementalIndependentRequests(t *testing.T) {
+	for _, mode := range []Mode{ModeFlow, ModeContext} {
+		comps := incrementalComponents(twoRequests(), mode)
+		if len(comps) != 2 {
+			t.Fatalf("mode %s: %d components, want 2", mode, len(comps))
+		}
+		for _, members := range comps {
+			if len(members) != 6 {
+				t.Fatalf("mode %s: component of %d members, want 6", mode, len(members))
+			}
+		}
+	}
+}
+
+func TestIncrementalPersistentConnectionMerges(t *testing.T) {
+	tr := twoRequests()
+	for _, a := range tr {
+		if a.Chan.Src.Port == 50001 {
+			a.Chan.Src.Port = 50000
+		}
+		if a.Chan.Dst.Port == 50001 {
+			a.Chan.Dst.Port = 50000
+		}
+	}
+	for _, mode := range []Mode{ModeFlow, ModeContext} {
+		if comps := incrementalComponents(tr, mode); len(comps) != 1 {
+			t.Fatalf("mode %s: %d components, want 1", mode, len(comps))
+		}
+	}
+}
+
+func TestIncrementalThreadReuseSplitsEpochs(t *testing.T) {
+	tr := twoRequests()
+	for _, a := range tr {
+		if a.Ctx.Host == "app" {
+			a.Ctx.TID = 20
+		}
+	}
+	if comps := incrementalComponents(tr, ModeContext); len(comps) != 1 {
+		t.Fatalf("ModeContext: %d components, want 1", len(comps))
+	}
+	if comps := incrementalComponents(tr, ModeFlow); len(comps) != 2 {
+		t.Fatalf("ModeFlow: %d components, want 2", len(comps))
+	}
+}
+
+// TestIncrementalMergeCallback: two components built independently must
+// fuse — with the callback reporting the (winner, loser) roots — when a
+// linking activity arrives, and stale roots must resolve to the new one.
+func TestIncrementalMergeCallback(t *testing.T) {
+	var merges int
+	inc := NewIncremental(ModeFlow, func(winner, loser int32) {
+		if winner == loser {
+			t.Fatal("merge reported identical roots")
+		}
+		merges++
+	})
+	tr := twoRequests()
+	roots := make([]int32, len(tr))
+	for i, a := range tr {
+		roots[i] = inc.Add(a)
+	}
+	if inc.Root(roots[0]) == inc.Root(roots[6]) {
+		t.Fatal("independent requests share a root")
+	}
+	if merges == 0 {
+		t.Fatal("intra-request unions reported no merges")
+	}
+	// A persistent-connection reply ties request 1's web→app connection
+	// to request 0's: the two components must fuse.
+	before := merges
+	link := mk(100, activity.Send, 7*time.Millisecond, "app", 20, "10.0.0.2", "10.0.0.1", 8009, 50000, 10)
+	link.Ctx.TID = 21 // request 1's app thread
+	inc.Add(link)
+	if merges == before {
+		t.Fatal("linking activity fired no merge callback")
+	}
+	if inc.Root(roots[0]) != inc.Root(roots[6]) {
+		t.Fatal("linked requests do not share a root")
+	}
+}
+
+// TestIncrementalOnlineReceiveNeverUnderMerges: when a RECEIVE arrives
+// before its SEND (the cross-host race the batch scan never sees), the
+// online partition must still keep the receive connected to both its
+// connection and its context's flow — coarser than the batch partition
+// is fine, finer is a correctness bug.
+func TestIncrementalOnlineReceiveNeverUnderMerges(t *testing.T) {
+	tr := twoRequests()[:6] // one request: BEGIN, SEND, RECEIVE, SEND, RECEIVE, END
+	// Arrival order: the app-side RECEIVE (index 2) arrives before the
+	// web-side SEND (index 1) that produced it.
+	order := []int{0, 2, 1, 3, 4, 5}
+	inc := NewIncremental(ModeFlow, nil)
+	roots := make([]int32, len(tr))
+	for _, i := range order {
+		roots[i] = inc.Add(tr[i])
+	}
+	first := inc.Root(roots[order[0]])
+	for _, i := range order[1:] {
+		if inc.Root(roots[i]) != first {
+			t.Fatalf("activity %d split from the request component", i)
+		}
+	}
+}
+
+// TestIncrementalNoiseReceiveKeepsChain: a receive on a direction that
+// never carries a SEND must not break the surrounding request's epoch
+// chain (the batch scan files it inert; online it may merge, but the
+// request must stay whole).
+func TestIncrementalNoiseReceiveKeepsChain(t *testing.T) {
+	tr := twoRequests()[:6]
+	noise := mk(99, activity.Receive, 2500*time.Microsecond, "web", 10, "10.0.0.99", "10.0.0.1", 6000, 22, 64)
+	seq := append(tr[:2:2], append([]*activity.Activity{noise}, tr[2:]...)...)
+	inc := NewIncremental(ModeFlow, nil)
+	roots := make([]int32, len(seq))
+	for i, a := range seq {
+		roots[i] = inc.Add(a)
+	}
+	// All six request activities share one component.
+	reqRoot := inc.Root(roots[0])
+	for i, a := range seq {
+		if a == noise {
+			continue
+		}
+		if inc.Root(roots[i]) != reqRoot {
+			t.Fatalf("request activity %d split off", i)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package flow
+
+import (
+	"sync"
+
+	"repro/internal/activity"
+)
+
+// PartitionParallel is Partition with the per-host scans fanned out over
+// a worker pool — the partition stage was a single-threaded union-find
+// scan worth ~30% of single-core pipeline time. Both entry points run
+// partitionHosts, so the output is byte-identical by construction:
+// same component sets, same member order, same component order
+// (TestPartitionParallelEquivalence pins it against scheduling).
+// workers <= 1 or a tiny trace goes straight to the one-goroutine path.
+//
+// Why per-host scans compose exactly (the reason partitionHosts can be
+// the single definition for both the sequential and concurrent paths):
+//
+//   - Contexts are host-local (a Context carries its host), so epoch and
+//     context chains never span hosts: each host's scan owns its
+//     contexts completely.
+//   - Channels are the only cross-host links. A sequential interning
+//     pre-pass gives every connection one dense id (both directions
+//     share it) and collects the global sendful bit; each scan maps the
+//     ids it touches onto host-local union-find nodes, and the merge
+//     pass unions every host's local node for the same id — closing the
+//     relation exactly as a single global scan would.
+//   - ModeFlow's epoch-break connectivity checks see less in a
+//     host-local view than a global scan would mid-flight, but every
+//     non-reuse branch unions the fresh epoch with the activity's
+//     channel, so wherever the views could disagree both candidate nodes
+//     are connected through that channel and the final closure — hence
+//     the component sets — is unchanged. The correlator-level
+//     equivalence suites (TestParallelEquivalence,
+//     TestParallelSessionEquivalence) pin the semantics end to end.
+func PartitionParallel(trace []*activity.Activity, mode Mode, workers int) []Component {
+	if len(trace) == 0 {
+		return nil
+	}
+	if workers <= 1 || len(trace) < parallelMinTrace {
+		return Partition(trace, mode)
+	}
+	byHost, hosts := splitHosts(trace)
+	if workers > len(hosts) {
+		workers = len(hosts)
+	}
+	return partitionHosts(byHost, hosts, mode, workers)
+}
+
+// parallelMinTrace is the trace size below which the per-host fan-out
+// costs more than it saves (goroutine setup and the forest merge); a var
+// so tests can force the parallel path on small fixtures.
+var parallelMinTrace = 4096
+
+// partitionHosts is the single definition of the batch partition: both
+// Partition (workers = 1) and PartitionParallel run it, so the scan's
+// state machine cannot drift between the sequential and concurrent
+// paths — the same role Correlator.drive plays for the hot loop.
+func partitionHosts(byHost map[string][]*activity.Activity, hosts []string, mode Mode, workers int) []Component {
+	// Interning pre-pass (sequential): every directed channel gets a
+	// dense direction id; the two directions of one connection get
+	// dirID and dirID^1, so dirID>>1 is the connection id the union-find
+	// shards on, while the sendful bit ("did this direction ever carry a
+	// SEND/END?") stays per direction, exactly as the engine's mmap sees
+	// it. This is the only pass that hashes Channel structs; the scans
+	// work on plain int32 ids. dirIDs is host-major aligned with the
+	// logs.
+	total := 0
+	for _, h := range hosts {
+		total += len(byHost[h])
+	}
+	ids := make(map[activity.Channel]int32, total/4)
+	var sendful []bool // indexed by direction id
+	dirIDs := make(map[string][]int32, len(hosts))
+	for _, h := range hosts {
+		log := byHost[h]
+		hostIDs := make([]int32, len(log))
+		for j, a := range log {
+			id, ok := ids[a.Chan]
+			if !ok {
+				if rid, ok := ids[a.Chan.Reverse()]; ok {
+					id = rid ^ 1
+				} else {
+					id = int32(len(sendful))
+					sendful = append(sendful, false, false)
+				}
+				ids[a.Chan] = id
+			}
+			if a.Type == activity.Send || a.Type == activity.End {
+				sendful[id] = true
+			}
+			hostIDs[j] = id
+		}
+		dirIDs[h] = hostIDs
+	}
+
+	// The mode scan per host, over a host-local union-find.
+	scans := make([]*hostScan, len(hosts))
+	if workers <= 1 {
+		for i := range hosts {
+			scans[i] = scanHost(byHost[hosts[i]], dirIDs[hosts[i]], sendful, mode)
+		}
+	} else {
+		runHosts(workers, len(hosts), func(i int) {
+			scans[i] = scanHost(byHost[hosts[i]], dirIDs[hosts[i]], sendful, mode)
+		})
+	}
+
+	// Merge (always sequential): one global union-find over the disjoint
+	// local forests; every host's local node for the same connection id
+	// unions across hosts.
+	offsets := make([]int32, len(hosts))
+	nodes := int32(0)
+	for i, hs := range scans {
+		offsets[i] = nodes
+		nodes += int32(len(hs.d.parent))
+	}
+	var d dsu
+	d.parent = make([]int32, nodes)
+	d.rank = make([]int8, nodes)
+	for i, hs := range scans {
+		// Graft the local forests: local parent pointers become global
+		// parent pointers (ranks carry over — each tree is unchanged).
+		off := offsets[i]
+		for local, parent := range hs.d.parent {
+			d.parent[off+int32(local)] = off + parent
+		}
+		copy(d.rank[off:], hs.d.rank)
+	}
+	chanImage := make([]int32, len(sendful)/2) // connection id -> first global node
+	for i := range chanImage {
+		chanImage[i] = -1
+	}
+	for i, hs := range scans {
+		off := offsets[i]
+		for id, local := range hs.chanLocal {
+			if local < 0 {
+				continue // connection never touched by this host
+			}
+			if prev := chanImage[id]; prev >= 0 {
+				d.union(prev, off+local)
+			} else {
+				chanImage[id] = off + local
+			}
+		}
+	}
+
+	// Final grouping over the deterministic host-major scan order.
+	scan := make([]*activity.Activity, 0, total)
+	roots := make([]int32, 0, total)
+	for i, h := range hosts {
+		hs := scans[i]
+		off := offsets[i]
+		for j, a := range byHost[h] {
+			scan = append(scan, a)
+			roots = append(roots, d.find(off+hs.assign[j]))
+		}
+	}
+	return group(scan, func(i int) int32 { return roots[i] })
+}
+
+// hostScan is one host's local partition state. chanLocal maps global
+// connection ids to this host's local union-find node (-1 = untouched).
+type hostScan struct {
+	d         dsu
+	chanLocal []int32
+	assign    []int32
+}
+
+// scanHost runs the mode scan over one node log with purely local state.
+// dirIDs is the log-aligned direction id per activity (dirID>>1 is the
+// connection id); sendful is the global per-direction bit (both
+// read-only here, shared across the concurrent scans).
+func scanHost(log []*activity.Activity, dirIDs []int32, sendful []bool, mode Mode) *hostScan {
+	hs := &hostScan{chanLocal: make([]int32, len(sendful)/2), assign: make([]int32, len(log))}
+	for i := range hs.chanLocal {
+		hs.chanLocal[i] = -1
+	}
+	chNode := func(dirID int32) int32 {
+		n := hs.chanLocal[dirID>>1]
+		if n < 0 {
+			n = hs.d.node()
+			hs.chanLocal[dirID>>1] = n
+		}
+		return n
+	}
+
+	switch mode {
+	case ModeContext:
+		ctxNode := make(map[activity.Context]int32)
+		for j, a := range log {
+			ch := chNode(dirIDs[j])
+			cn, ok := ctxNode[a.Ctx]
+			if !ok {
+				cn = hs.d.node()
+				ctxNode[a.Ctx] = cn
+			}
+			hs.d.union(cn, ch)
+			hs.assign[j] = cn
+		}
+	default: // ModeFlow
+		epoch := make(map[activity.Context]int32)
+		for j, a := range log {
+			ch := chNode(dirIDs[j])
+			var n int32
+			switch a.Type {
+			case activity.Begin:
+				e, ok := epoch[a.Ctx]
+				if ok && hs.d.find(e) == hs.d.find(ch) {
+					n = e
+				} else {
+					e = hs.d.node()
+					hs.d.union(e, ch)
+					epoch[a.Ctx] = e
+					n = e
+				}
+			case activity.Receive:
+				e, ok := epoch[a.Ctx]
+				switch {
+				case ok && hs.d.find(e) == hs.d.find(ch):
+					n = e
+				case !sendful[dirIDs[j]]:
+					// Inert arrival: no SEND exists anywhere on this
+					// direction, so file it under its connection and
+					// leave the context's epoch untouched.
+					n = ch
+				default:
+					e = hs.d.node()
+					hs.d.union(e, ch)
+					epoch[a.Ctx] = e
+					n = e
+				}
+			default: // Send, End, MaxType
+				e, ok := epoch[a.Ctx]
+				if !ok {
+					e = hs.d.node()
+					epoch[a.Ctx] = e
+				}
+				hs.d.union(e, ch)
+				n = e
+			}
+			hs.assign[j] = n
+		}
+	}
+	return hs
+}
+
+// runHosts fans fn out over [0, n) with at most workers goroutines.
+func runHosts(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,147 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/rubis"
+)
+
+// classifiedTrace generates a RUBiS trace and applies the §3.1
+// classification (Partition consumes classified activities, as the
+// correlator does).
+func classifiedTrace(t testing.TB, clients int, scale float64, noise int) []*activity.Activity {
+	t.Helper()
+	cfg := rubis.DefaultConfig(clients)
+	cfg.Scale = scale
+	cfg.NoiseSessions = noise
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := activity.NewClassifier(rubis.EntryPort)
+	out := make([]*activity.Activity, len(res.Trace))
+	for i, a := range res.Trace {
+		cp := *a
+		cp.Type = cls.Classify(a)
+		out[i] = &cp
+	}
+	return out
+}
+
+// assertSameComponents requires byte-identical partitions: same component
+// count, order, member identity and member order.
+func assertSameComponents(t *testing.T, label string, want, got []Component) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d components, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].MinTimestamp != got[i].MinTimestamp {
+			t.Fatalf("%s: component %d MinTimestamp %v, want %v", label, i, got[i].MinTimestamp, want[i].MinTimestamp)
+		}
+		if len(want[i].Activities) != len(got[i].Activities) {
+			t.Fatalf("%s: component %d has %d members, want %d", label, i, len(got[i].Activities), len(want[i].Activities))
+		}
+		for j := range want[i].Activities {
+			if want[i].Activities[j] != got[i].Activities[j] {
+				t.Fatalf("%s: component %d member %d differs (%v vs %v)",
+					label, i, j, got[i].Activities[j], want[i].Activities[j])
+			}
+		}
+	}
+}
+
+// TestPartitionParallelEquivalence: the per-host scans merged by the
+// final union pass must reproduce the sequential partition exactly —
+// including ModeFlow's epoch breaks and inert-receive filing, whose
+// connectivity checks see less context in a host-local view.
+func TestPartitionParallelEquivalence(t *testing.T) {
+	old := parallelMinTrace
+	parallelMinTrace = 1
+	defer func() { parallelMinTrace = old }()
+
+	cases := []struct {
+		name    string
+		clients int
+		scale   float64
+		noise   int
+	}{
+		{"clean", 120, 0.03, 0},
+		{"noisy", 120, 0.03, 8},
+		{"larger", 300, 0.05, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trace := classifiedTrace(t, tc.clients, tc.scale, tc.noise)
+			for _, mode := range []Mode{ModeFlow, ModeContext} {
+				want := Partition(trace, mode)
+				for _, workers := range []int{2, 4, 8} {
+					label := fmt.Sprintf("mode=%s workers=%d", mode, workers)
+					got := PartitionParallel(trace, mode, workers)
+					assertSameComponents(t, label, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionParallelFixtures runs the hand-written fixtures through
+// the parallel path: the cases the two modes disagree on must come out
+// exactly as the sequential scan decides them.
+func TestPartitionParallelFixtures(t *testing.T) {
+	old := parallelMinTrace
+	parallelMinTrace = 1
+	defer func() { parallelMinTrace = old }()
+
+	tr := twoRequests()
+	for _, mode := range []Mode{ModeFlow, ModeContext} {
+		assertSameComponents(t, "independent "+mode.String(),
+			Partition(tr, mode), PartitionParallel(tr, mode, 4))
+	}
+
+	reuse := twoRequests()
+	for _, a := range reuse {
+		if a.Ctx.Host == "app" {
+			a.Ctx.TID = 20
+		}
+	}
+	for _, mode := range []Mode{ModeFlow, ModeContext} {
+		assertSameComponents(t, "thread reuse "+mode.String(),
+			Partition(reuse, mode), PartitionParallel(reuse, mode, 4))
+	}
+
+	inert := twoRequests()[:6]
+	noise := mk(99, activity.Receive, 2500000, "web", 10, "10.0.0.99", "10.0.0.1", 6000, 22, 64)
+	inert = append(inert[:2:2], append([]*activity.Activity{noise}, inert[2:]...)...)
+	assertSameComponents(t, "inert receive",
+		Partition(inert, ModeFlow), PartitionParallel(inert, ModeFlow, 4))
+}
+
+// TestPartitionParallelEmptyAndFallback: the degenerate shapes.
+func TestPartitionParallelEmptyAndFallback(t *testing.T) {
+	if got := PartitionParallel(nil, ModeFlow, 8); got != nil {
+		t.Fatalf("empty trace: %v", got)
+	}
+	// Below the size threshold the sequential path runs; output contract
+	// is identical either way.
+	tr := twoRequests()
+	assertSameComponents(t, "fallback", Partition(tr, ModeFlow), PartitionParallel(tr, ModeFlow, 8))
+}
+
+func BenchmarkPartition(b *testing.B) {
+	trace := classifiedTrace(b, 300, 0.1, 8)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Partition(trace, ModeFlow)
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PartitionParallel(trace, ModeFlow, workers)
+			}
+		})
+	}
+}

@@ -78,14 +78,16 @@ type patternBaseline struct {
 
 // Monitor ingests CAGs and raises alerts.
 type Monitor struct {
-	cfg       Config
-	cur       *bucket
-	index     int
-	baselines map[string]*patternBaseline
-	alerts    []Alert
-	intervals int
-	ingested  int
-	history   []IntervalStat
+	cfg        Config
+	cur        *bucket
+	index      int
+	baselines  map[string]*patternBaseline
+	alerts     []Alert
+	intervals  int
+	ingested   int
+	history    []IntervalStat
+	lastEnd    time.Duration
+	outOfOrder int
 }
 
 // NewMonitor returns a monitor with the given configuration.
@@ -103,14 +105,21 @@ func NewMonitor(cfg Config) *Monitor {
 }
 
 // Ingest adds one finished CAG. CAGs must arrive in non-decreasing
-// completion (END timestamp) order, which is how the engine emits them per
-// first-tier node.
+// completion (END timestamp) order — the contract both the sequential
+// engine and the sharded watermark emitters guarantee. A regressing END
+// lands in the current interval (its own interval already closed) and is
+// counted in OutOfOrder so feeders can surface the violation.
 func (m *Monitor) Ingest(g *cag.Graph) {
 	end := g.End()
 	if end == nil {
 		return
 	}
 	t := end.Timestamp
+	if m.ingested > 0 && t < m.lastEnd {
+		m.outOfOrder++
+	} else {
+		m.lastEnd = t
+	}
 	if m.cur == nil {
 		m.cur = &bucket{start: t - t%m.cfg.Interval, graphs: make(map[string][]*cag.Graph)}
 	}
@@ -134,9 +143,17 @@ func (m *Monitor) Flush() {
 func (m *Monitor) closeInterval() {
 	stat := IntervalStat{Index: m.index, Start: m.cur.start}
 	alertsBefore := len(m.alerts)
+	sigs := make([]string, 0, len(m.cur.graphs))
+	for sig := range m.cur.graphs {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
 	var latSum time.Duration
 	topCount := 0
-	for sig, members := range m.cur.graphs {
+	// Sorted-signature order makes TopPattern deterministic on count
+	// ties (map order would flip it run to run).
+	for _, sig := range sigs {
+		members := m.cur.graphs[sig]
 		stat.Requests += len(members)
 		for _, g := range members {
 			latSum += g.Latency()
@@ -144,7 +161,6 @@ func (m *Monitor) closeInterval() {
 		if len(members) > topCount {
 			topCount = len(members)
 			stat.TopPattern = cag.PatternName(members[0])
-			_ = sig
 		}
 	}
 	if stat.Requests > 0 {
@@ -156,11 +172,6 @@ func (m *Monitor) closeInterval() {
 		m.index++
 		m.intervals++
 	}()
-	sigs := make([]string, 0, len(m.cur.graphs))
-	for sig := range m.cur.graphs {
-		sigs = append(sigs, sig)
-	}
-	sort.Strings(sigs)
 	for _, sig := range sigs {
 		members := m.cur.graphs[sig]
 		if len(members) < m.cfg.MinRequests {
@@ -262,6 +273,12 @@ func (m *Monitor) Intervals() int { return m.intervals }
 
 // Ingested returns the number of CAGs consumed.
 func (m *Monitor) Ingested() int { return m.ingested }
+
+// OutOfOrder returns how many ingested CAGs violated the non-decreasing
+// END-timestamp contract. Non-zero means the feeding correlator broke its
+// emission-order guarantee (or streams were mixed); interval statistics
+// near the violations are suspect.
+func (m *Monitor) OutOfOrder() int { return m.outOfOrder }
 
 // History returns per-interval statistics in order.
 func (m *Monitor) History() []IntervalStat { return m.history }

@@ -187,6 +187,29 @@ func TestMonitorEndToEndWithFaultOnset(t *testing.T) {
 	}
 }
 
+func TestMonitorOutOfOrderCounted(t *testing.T) {
+	m := NewMonitor(Config{Interval: time.Second})
+	m.Ingest(buildGraph(t, 500*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 1))
+	m.Ingest(buildGraph(t, 400*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 2)) // regresses
+	m.Ingest(buildGraph(t, 600*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 3))
+	m.Flush()
+	if m.OutOfOrder() != 1 {
+		t.Fatalf("OutOfOrder = %d, want 1", m.OutOfOrder())
+	}
+	if m.Ingested() != 3 {
+		t.Fatalf("Ingested = %d, want 3 (violators still counted)", m.Ingested())
+	}
+
+	ok := NewMonitor(Config{Interval: time.Second})
+	for i := 0; i < 4; i++ {
+		ok.Ingest(buildGraph(t, time.Duration(100+i*50)*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, i))
+	}
+	ok.Flush()
+	if ok.OutOfOrder() != 0 {
+		t.Fatalf("ordered stream counted %d violations", ok.OutOfOrder())
+	}
+}
+
 func TestIntervalHistory(t *testing.T) {
 	m := NewMonitor(Config{Interval: time.Second, BaselineIntervals: 1, MinRequests: 3})
 	for interval := 0; interval < 3; interval++ {

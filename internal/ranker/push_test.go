@@ -46,6 +46,25 @@ func TestPushSourceRejectsRegression(t *testing.T) {
 	}
 }
 
+func TestPushSourceRejectsRegressionAfterDrain(t *testing.T) {
+	// The monotonicity contract survives a full drain: the check compares
+	// against the last pushed timestamp, not the buffer tail, so the
+	// sequential and sharded sessions reject the same push sequences.
+	s := NewPushSource("web1")
+	if err := s.Push(act(activity.Begin, 5*time.Millisecond, httpdCtx, clientCh, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pop() == nil {
+		t.Fatal("pop failed")
+	}
+	if err := s.Push(act(activity.Send, 3*time.Millisecond, httpdCtx, webApp, 10, 1)); err == nil {
+		t.Fatal("regression after drain accepted")
+	}
+	if err := s.Push(act(activity.Send, 6*time.Millisecond, httpdCtx, webApp, 10, 1)); err != nil {
+		t.Fatalf("monotone push after drain rejected: %v", err)
+	}
+}
+
 func TestPushSourceCompaction(t *testing.T) {
 	s := NewPushSource("web1")
 	ts := time.Duration(0)

@@ -81,6 +81,8 @@ type PushSource struct {
 	buf    []*activity.Activity
 	head   int
 	closed bool
+	any    bool
+	last   time.Duration
 }
 
 // NewPushSource returns an open push source for a host.
@@ -90,14 +92,20 @@ func NewPushSource(host string) *PushSource { return &PushSource{host: host} }
 func (s *PushSource) Host() string { return s.host }
 
 // Push appends one activity. It returns an error if the stream is closed
-// or the timestamp regresses (a node's kernel log is monotone).
+// or the timestamp regresses (a node's kernel log is monotone). The
+// regression check compares against the last *pushed* timestamp even
+// after the buffer has drained: an accepted regression would break the
+// emission-order guarantee, and the sharded session enforces the same
+// per-host monotonicity, so the two modes must reject identically.
 func (s *PushSource) Push(a *activity.Activity) error {
 	if s.closed {
 		return fmt.Errorf("ranker: push on closed source %s", s.host)
 	}
-	if n := len(s.buf); n > s.head && a.Timestamp < s.buf[n-1].Timestamp {
-		return fmt.Errorf("ranker: %s timestamp regressed (%v after %v)", s.host, a.Timestamp, s.buf[n-1].Timestamp)
+	if s.any && a.Timestamp < s.last {
+		return fmt.Errorf("ranker: %s timestamp regressed (%v after %v)", s.host, a.Timestamp, s.last)
 	}
+	s.any = true
+	s.last = a.Timestamp
 	s.buf = append(s.buf, a)
 	return nil
 }
