@@ -40,10 +40,24 @@ func run() error {
 		entryPort = flag.Int("entryport", 80, "first-tier service port")
 		chunk     = flag.Int("chunk", 256, "records pushed between drain rounds")
 		workers   = flag.Int("workers", 1, "correlation workers; >1 shards the push-mode session per flow component, 0 uses all CPUs")
+		sealAfter = flag.Duration("sealafter", 0, "continuous mode (needs -workers >1): force-seal components idle longer than this in activity time, so CAGs flow without agent restarts; 0 = close-driven sealing only")
 	)
 	flag.Parse()
 	if *inDir == "" {
 		return fmt.Errorf("-indir is required")
+	}
+	// Resolve the worker count before touching any input: continuous mode
+	// needs the sharded session, and a flag error should not cost a full
+	// trace read. "-workers 0" (all CPUs) on a single-CPU host resolves
+	// to 1; honour the continuous-mode request by clamping up to the
+	// smallest sharded pool instead of rejecting it.
+	nWorkers := core.ResolveWorkers(*workers)
+	if *sealAfter > 0 && nWorkers <= 1 {
+		if *workers == 0 {
+			nWorkers = 2
+		} else {
+			return fmt.Errorf("-sealafter needs -workers > 1 (the sequential session is close-driven)")
+		}
 	}
 
 	perHost, err := activity.ReadHostLogs(*inDir)
@@ -71,12 +85,15 @@ func run() error {
 		EntryPorts: []int{*entryPort},
 		IPToHost:   activity.InferIPToHost(merged),
 		OnGraph:    func(g *cag.Graph) { monitor.Ingest(g) },
+		SealAfter:  *sealAfter,
 	}
 
 	// Both worker counts run the push-mode session: with Workers > 1 it is
 	// the sharded session, whose watermark emitter delivers CAGs in the
-	// END-timestamp order Monitor.Ingest needs.
-	opts.Workers = core.ResolveWorkers(*workers)
+	// END-timestamp order Monitor.Ingest needs. -sealafter additionally
+	// lets that session emit continuously without waiting for any stream
+	// to close — the always-on deployment the paper motivates.
+	opts.Workers = nWorkers
 	sess, err := core.NewSession(opts, hosts)
 	if err != nil {
 		return err
@@ -106,8 +123,15 @@ func run() error {
 		fmt.Printf("sharded session: %d flow components across %d workers; per-shard peaks: %d buffered activities, %d resident vertices (largest shard)\n",
 			res.Shards, opts.Workers, res.PeakBufferedActivities, res.PeakResidentVertices)
 	}
+	if res.ForcedSeals > 0 || res.LateLinks > 0 {
+		fmt.Printf("continuous mode: %d components force-sealed past the %v activity-time horizon; %d late links detached onto fresh components\n",
+			res.ForcedSeals, *sealAfter, res.LateLinks)
+	}
 	if n := monitor.OutOfOrder(); n > 0 {
 		fmt.Printf("warning: %d CAGs arrived out of END-timestamp order; interval statistics may be skewed\n", n)
+	}
+	if n := monitor.SkippedEmpty(); n > 0 {
+		fmt.Printf("quiet gaps: %d empty intervals skipped (recorded per interval in the gap column)\n", n)
 	}
 	fmt.Print(monitor.Summary())
 	fmt.Println()

@@ -145,6 +145,12 @@ func run() error {
 	if res.SequentialFallback != "" {
 		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", nWorkers, res.SequentialFallback)
 	}
+	if res.ForcedSeals > 0 || res.LateLinks > 0 {
+		// Batch runs never force-seal; this surfaces the continuous-mode
+		// counters should a session-backed input path feed this Result.
+		fmt.Printf("continuous mode: %d forced seals, %d late links (CAGs may be split; see core.Options.SealAfter)\n",
+			res.ForcedSeals, res.LateLinks)
+	}
 	if nWorkers > 1 && res.SequentialFallback == "" {
 		// Parallel mode materialises the full trace and holds every
 		// finished CAG through the merge; the correlator-state peaks

@@ -87,10 +87,35 @@
 //     stream could still produce an earlier END. The full emitted
 //     sequence is byte-identical to the sequential Session's for the
 //     same push order (TestParallelSessionEquivalence); mid-run, Drain
-//     releases an order-consistent prefix that grows as streams close —
-//     a deployment that never calls CloseHost sees its output at Close,
-//     where the sequential session emits each CAG as it becomes
-//     decidable (sealing is close-driven; see ROADMAP).
+//     releases an order-consistent prefix that grows as streams close.
+//
+// # Continuous operation (forever-open sessions)
+//
+// Close-driven sealing alone starves an always-on deployment: agents
+// that never restart never call CloseHost, so nothing seals and
+// flow.Incremental's interning maps remember every connection ever
+// seen. Options.SealAfter > 0 is the opt-in continuous mode replacing
+// the old "cycle one Session per agent generation" workaround:
+//
+//   - Activity-time seal horizon. At each Drain, a component whose
+//     newest activity has fallen more than SealAfter behind the newest
+//     pushed timestamp is force-sealed and correlated even though its
+//     hosts are still open (Result.ForcedSeals); the watermark treats
+//     quiet open streams as bounded by the same horizon, so emission
+//     advances. Staleness is measured on pushed timestamps, never wall
+//     clock — replays stay deterministic and testable.
+//   - Pruning with tombstones. A dispatched component's root is
+//     tombstoned in flow.Incremental and its dir/epoch/ctxNode entries
+//     are deleted one horizon later, bounding memory by recently-active
+//     components. A straggler that resolves to a tombstoned root — the
+//     sender-liveness bound was violated — is counted in
+//     Result.LateLinks and detached onto a fresh component instead of
+//     resurrecting the freed shard.
+//   - The tradeoff. A forced seal gives up the no-guess guarantee for
+//     exactly the components it seals: a straggler splits its request's
+//     CAG (and may regress the emitted END order, which live.Monitor
+//     counts in OutOfOrder). SealAfter = 0 keeps today's strictly
+//     close-driven, byte-identical behaviour.
 //
 // PaperExactNoise still forces the sequential pass (the Fig. 5 predicate
 // reads the global window buffer); that degradation is surfaced in

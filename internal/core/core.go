@@ -89,6 +89,35 @@ type Options struct {
 	// pipeline batch (Workers > 1 only). Defaults to 8. Smaller batches
 	// spread load; larger batches cut channel traffic.
 	BatchSize int
+
+	// SealAfter, when positive, turns the sharded push-mode Session
+	// (Workers > 1) into a continuous correlator: a flow component whose
+	// newest activity is more than SealAfter older than the newest
+	// timestamp pushed anywhere (activity time, never wall clock — replay
+	// stays deterministic) is sealed and correlated at the next Drain even
+	// though its hosts are still open, and the watermark emitter releases
+	// its CAGs. Each such seal is counted in Result.ForcedSeals. The
+	// dispatched component's flow bookkeeping is tombstoned at dispatch
+	// and pruned one further SealAfter later, so a forever-open Session's
+	// memory is bounded by the components active within ~2×SealAfter, not
+	// by every connection ever seen.
+	//
+	// The price is the no-guess guarantee: a forced seal asserts that no
+	// open stream will deliver an activity older than SealAfter behind the
+	// global maximum (a sender-liveness bound the agents must honour). An
+	// activity that violates it is a late link — it starts a fresh
+	// component (possibly splitting its request's CAG) and is counted in
+	// Result.LateLinks rather than silently resurrecting a freed shard;
+	// the emitted stream can then also regress in END-timestamp order,
+	// which live.Monitor surfaces via OutOfOrder.
+	//
+	// 0 (the default) keeps sealing purely close-driven: output and
+	// behaviour are byte-identical to a Session without the option.
+	// NewSession rejects SealAfter > 0 when the session would run
+	// sequentially (Workers <= 1, or PaperExactNoise forcing the
+	// fallback) — dropping it silently would starve a forever-open
+	// deployment with no visible signal. Batch runs ignore it.
+	SealAfter time.Duration
 }
 
 // Result is the outcome of a correlation run.
@@ -125,6 +154,24 @@ type Result struct {
 	// about throughput should surface it instead of silently accepting
 	// sequential speed.
 	SequentialFallback string
+
+	// ForcedSeals counts components sealed by the Options.SealAfter
+	// activity-time horizon while their hosts were still open — each one
+	// an emission the close-driven rule alone would have held back, and a
+	// point where the no-guess guarantee was traded for liveness. Always
+	// 0 when SealAfter is 0.
+	ForcedSeals int
+
+	// LateLinks counts activities that genuinely linked to an already
+	// force-sealed component — arrived on one of its connections, or
+	// continued its context mid-request (within the tombstone window) —
+	// and were detached onto a fresh component instead of resurrecting
+	// the dispatched shard. New requests beginning on reused idle
+	// threads are not counted. A non-zero value means dispatched work
+	// kept producing activity — with persistent connections a structural
+	// effect of sealing per activity-idleness, and in the worst case a
+	// sender-liveness violation splitting CAGs; see Options.SealAfter.
+	LateLinks int
 }
 
 // FallbackPaperExactNoise is the Result.SequentialFallback reason set when

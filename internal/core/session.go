@@ -70,6 +70,16 @@ func NewSession(opts Options, hosts []string) (*Session, error) {
 	if opts.Workers > 1 && !opts.PaperExactNoise {
 		return &Session{impl: newParSession(opts, hosts)}, nil
 	}
+	if opts.SealAfter > 0 {
+		// Continuous mode only exists in the sharded session. Silently
+		// dropping it would be the worst failure mode: a forever-open
+		// deployment would never emit and never learn why (the fallback
+		// reason only surfaces in Close's Result).
+		if opts.PaperExactNoise {
+			return nil, fmt.Errorf("core: SealAfter needs the sharded session, but %s", FallbackPaperExactNoise)
+		}
+		return nil, fmt.Errorf("core: SealAfter needs Workers > 1 (the sequential session seals on CloseHost only)")
+	}
 	seq := newSeqSession(opts, hosts)
 	if opts.Workers > 1 {
 		seq.fallback = FallbackPaperExactNoise
@@ -171,9 +181,16 @@ func (s *seqSession) Drain() int {
 	start := time.Now()
 	n := 0
 	for {
-		a, done := s.rk.TryRank()
+		// TryRank's done flag distinguishes "all sources drained" (nil,
+		// true) from "blocked until an open stream delivers more" (nil,
+		// false). Drain stops on a nil candidate either way: nil is a
+		// fixed point — repeated TryRank calls cannot make progress until
+		// Push or CloseHost changes the input state, and both happen
+		// outside Drain. Callers that need the distinction (wait for more
+		// input vs. finished) read it from Pending() and their own stream
+		// accounting, so the flag is deliberately dropped here.
+		a, _ := s.rk.TryRank()
 		if a == nil {
-			_ = done
 			break
 		}
 		if g := s.eng.Handle(a); g != nil && s.opts.OnGraph == nil {

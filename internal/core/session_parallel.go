@@ -37,6 +37,14 @@ import (
 // engine's two lookup relations, and the emitter's order is the
 // sequential completion order.
 //
+// With Options.SealAfter > 0 the session additionally runs continuously:
+// Drain force-seals components idle for longer than the horizon (against
+// the activity clock, never wall time), the watermark treats quiet open
+// streams as bounded by that same horizon, and dispatched components'
+// flow bookkeeping is tombstoned then pruned — memory stays bounded by
+// recently-active components even if CloseHost is never called. See
+// Options.SealAfter for the no-guess tradeoff this accepts.
+//
 // Contributor tracking relies on Options.IPToHost covering every declared
 // host's addresses (the same map the ranker's noise reasoning needs): an
 // activity can only extend a component from a host owning one of the
@@ -67,6 +75,17 @@ type parSession struct {
 	pushed      int
 	pendingActs int
 	uncounted   int // shard deliveries not yet reported by Drain
+
+	// Continuous-mode state (Options.SealAfter > 0). maxTs is the newest
+	// timestamp pushed on any stream — the activity clock every horizon
+	// is measured against. pruneQ holds dispatched components whose flow
+	// bookkeeping is tombstoned but not yet pruned: entries are freed one
+	// further SealAfter after dispatch, so stragglers inside the liveness
+	// bound are still detected as late links instead of silently starting
+	// fresh components.
+	maxTs       time.Duration
+	forcedSeals int
+	pruneQ      []pendingPrune
 
 	rstats   ranker.Stats
 	estats   engine.Stats
@@ -102,11 +121,19 @@ type pushRec struct {
 type sessComponent struct {
 	id      int // creation order: deterministic ordering fallback
 	minTs   time.Duration
+	maxTs   time.Duration // newest member: the staleness measure
 	size    int
 	perHost map[string][]pushRec
 	hosts   map[string]struct{} // declared hosts that may still extend it
 	sealed  bool
 	root    int32 // current union-find root
+}
+
+// pendingPrune is one dispatched component awaiting its flow-bookkeeping
+// prune, keyed by the activity clock at dispatch time.
+type pendingPrune struct {
+	root int32
+	at   time.Duration // s.maxTs when the component was absorbed
 }
 
 // sessShardResult is one sealed component's correlation output.
@@ -132,6 +159,11 @@ func newParSession(opts Options, hosts []string) *parSession {
 		results: make(chan sessShardResult, 2*opts.Workers),
 	}
 	s.inc = flow.NewIncremental(opts.ShardBy.flowMode(), s.mergeComponents)
+	if opts.SealAfter > 0 {
+		// Continuous mode retires dispatched components; the close-driven
+		// mode never prunes and skips the reverse-index tracking cost.
+		s.inc.EnablePruning()
+	}
 	for _, h := range hosts {
 		if s.hosts[h] == nil {
 			s.hosts[h] = &sessHost{open: true}
@@ -206,6 +238,7 @@ func (s *parSession) Push(a *activity.Activity) error {
 		c = &sessComponent{
 			id:      s.nextCompID,
 			minTs:   cp.Timestamp,
+			maxTs:   cp.Timestamp,
 			perHost: make(map[string][]pushRec),
 			hosts:   make(map[string]struct{}),
 			root:    root,
@@ -216,6 +249,12 @@ func (s *parSession) Push(a *activity.Activity) error {
 	c.perHost[cp.Ctx.Host] = append(c.perHost[cp.Ctx.Host], pushRec{a: &cp, seq: h.seq})
 	if cp.Timestamp < c.minTs {
 		c.minTs = cp.Timestamp
+	}
+	if cp.Timestamp > c.maxTs {
+		c.maxTs = cp.Timestamp
+	}
+	if cp.Timestamp > s.maxTs {
+		s.maxTs = cp.Timestamp
 	}
 	c.size++
 	c.hosts[cp.Ctx.Host] = struct{}{}
@@ -291,6 +330,9 @@ func (s *parSession) fuse(a, b *sessComponent, root int32) *sessComponent {
 	if b.minTs < a.minTs {
 		a.minTs = b.minTs
 	}
+	if b.maxTs > a.maxTs {
+		a.maxTs = b.maxTs
+	}
 	if b.id < a.id {
 		a.id = b.id
 	}
@@ -349,12 +391,56 @@ func (s *parSession) sealCompleted() {
 		if c.sealed || s.growable(c) {
 			continue
 		}
-		c.sealed = true
 		ready = append(ready, c)
 	}
+	s.enqueue(ready)
+}
+
+// sealStale force-seals every component whose newest activity has fallen
+// more than SealAfter behind the activity clock — the continuous-emission
+// rule. Evaluated at Drain, against pushed timestamps only, so replaying
+// the same push/drain sequence reproduces the same seals.
+func (s *parSession) sealStale() {
+	if s.opts.SealAfter <= 0 {
+		return
+	}
+	horizon := s.maxTs - s.opts.SealAfter
+	var ready []*sessComponent
+	for _, c := range s.comps {
+		if c.sealed || c.maxTs >= horizon {
+			continue
+		}
+		ready = append(ready, c)
+	}
+	s.forcedSeals += len(ready)
+	s.enqueue(ready)
+}
+
+// enqueue seals the given components and queues them for the worker pool
+// in deterministic creation order. In continuous mode the flow partition
+// tombstones each root, so a straggler activity becomes a counted late
+// link on a fresh component instead of touching dispatched buffers.
+func (s *parSession) enqueue(ready []*sessComponent) {
 	sort.Slice(ready, func(i, j int) bool { return ready[i].id < ready[j].id })
+	for _, c := range ready {
+		c.sealed = true
+		if s.opts.SealAfter > 0 {
+			s.inc.Seal(c.root)
+		}
+	}
 	s.queue = append(s.queue, ready...)
 	s.shards += len(ready)
+}
+
+// reapPruned frees the flow bookkeeping of components dispatched more
+// than one seal horizon ago. Holding entries for a horizon past dispatch
+// keeps late-link detection alive exactly as long as the sender-liveness
+// bound promises stragglers can exist.
+func (s *parSession) reapPruned() {
+	for len(s.pruneQ) > 0 && s.pruneQ[0].at < s.maxTs-s.opts.SealAfter {
+		s.inc.Prune(s.pruneQ[0].root)
+		s.pruneQ = s.pruneQ[1:]
+	}
 }
 
 // growable reports whether any still-open declared host could push an
@@ -431,6 +517,10 @@ func (s *parSession) absorb(r sessShardResult) {
 	if s.comps[r.comp.root] == r.comp {
 		delete(s.comps, r.comp.root)
 	}
+	if s.opts.SealAfter > 0 {
+		// Tombstoned at seal; entries are freed one horizon from now.
+		s.pruneQ = append(s.pruneQ, pendingPrune{root: r.comp.root, at: s.maxTs})
+	}
 }
 
 // watermark returns the END-timestamp bound below which no future graph
@@ -439,6 +529,13 @@ func (s *parSession) absorb(r sessShardResult) {
 // local timestamp (a host that never pushed bounds nothing, so nothing
 // may be released). bounded is false when no component is pending and no
 // host is open — everything may go.
+//
+// In continuous mode (SealAfter > 0) an open host's bound is raised to
+// the sender-liveness floor maxTs−SealAfter: a quiet-but-open stream is
+// presumed to hold nothing older than the seal horizon, so it no longer
+// blocks emission forever. A push violating that presumption is the same
+// late-link event the forced seal accepts, and can regress the emitted
+// order (surfaced downstream via live.Monitor.OutOfOrder).
 func (s *parSession) watermark() (time.Duration, bool) {
 	var wm time.Duration
 	bounded := false
@@ -454,11 +551,16 @@ func (s *parSession) watermark() (time.Duration, bool) {
 		if !h.open {
 			continue
 		}
+		b := time.Duration(math.MinInt64) // no lower bound yet
 		if h.any {
-			note(h.last)
-		} else {
-			note(time.Duration(math.MinInt64)) // no lower bound yet
+			b = h.last
 		}
+		if s.opts.SealAfter > 0 {
+			if floor := s.maxTs - s.opts.SealAfter; floor > b {
+				b = floor
+			}
+		}
+		note(b)
 	}
 	return wm, bounded
 }
@@ -500,11 +602,16 @@ func (s *parSession) emit(all bool) {
 	s.finished = append(s.finished[:0:0], s.finished[cut:]...)
 }
 
-// Drain implements sessionImpl: finish every decidable (sealed)
-// component and release what the watermark permits.
+// Drain implements sessionImpl: force-seal stale components (continuous
+// mode), finish every decidable (sealed) component, and release what the
+// watermark permits.
 func (s *parSession) Drain() int {
 	start := time.Now()
+	s.sealStale()
 	s.settle()
+	if s.opts.SealAfter > 0 {
+		s.reapPruned()
+	}
 	s.emit(false)
 	s.workTime += time.Since(start)
 	n := s.uncounted
@@ -537,6 +644,8 @@ func (s *parSession) Close() *Result {
 		PeakBufferedActivities: s.rstats.PeakBuffered,
 		PeakResidentVertices:   s.peakVert,
 		Shards:                 s.shards,
+		ForcedSeals:            s.forcedSeals,
+		LateLinks:              s.inc.LateLinks(),
 	}
 	return s.final
 }

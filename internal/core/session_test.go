@@ -130,6 +130,61 @@ func TestSessionNoGuessingWhileOpen(t *testing.T) {
 	}
 }
 
+// TestSessionDrainIdleButOpen pins the TryRank stop condition Drain
+// relies on: with streams open but nothing (or nothing decidable)
+// buffered, Drain returns 0, is idempotent, and leaves the session fully
+// usable — and the held-back work completes once the streams close.
+func TestSessionDrainIdleButOpen(t *testing.T) {
+	res := fastRun(t, 10, nil)
+	sess, err := NewSession(options(res), hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Totally idle: nothing pushed, every stream open.
+	for i := 0; i < 3; i++ {
+		if n := sess.Drain(); n != 0 {
+			t.Fatalf("idle drain %d processed %d activities", i, n)
+		}
+	}
+	// Idle-but-buffered: a lone cross-node RECEIVE is undecidable while
+	// the sender's stream is open, so repeated Drains must spin zero work
+	// (TryRank returns nil with done=false — blocked, not drained).
+	var recv *activity.Activity
+	for _, a := range res.Trace {
+		if a.Type == activity.Receive && a.Ctx.Host == "app1" {
+			recv = a
+			break
+		}
+	}
+	if recv == nil {
+		t.Fatal("fixture has no app1 RECEIVE")
+	}
+	if err := sess.Push(recv); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if n := sess.Drain(); n != 0 {
+			t.Fatalf("blocked drain %d processed %d activities", i, n)
+		}
+		if sess.Pending() == 0 {
+			t.Fatal("undecidable RECEIVE no longer pending")
+		}
+	}
+	// Closing every stream flips TryRank's nil to done=true territory:
+	// the final Close resolves the held activity (here: provably noise,
+	// its SEND can no longer arrive) without having guessed early.
+	out := sess.Close()
+	if out.Activities != 1 {
+		t.Fatalf("activities = %d, want 1", out.Activities)
+	}
+	if resolved := out.Ranker.Delivered + out.Ranker.NoiseDropped + out.Ranker.ForcedPops; resolved == 0 {
+		t.Fatalf("held RECEIVE never resolved after close: %+v", out.Ranker)
+	}
+	if sess.Pending() != 0 {
+		t.Fatalf("pending = %d after close", sess.Pending())
+	}
+}
+
 func TestSessionErrors(t *testing.T) {
 	res := fastRun(t, 10, nil)
 	if _, err := NewSession(Options{}, hostsOf(res)); err == nil {

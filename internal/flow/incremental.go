@@ -27,13 +27,31 @@ import (
 // and final roots are fully deterministic. Add is not safe for concurrent
 // use; the caller serialises (the Session push path is single-goroutine).
 //
-// Memory: the interning maps and union-find grow with every distinct
-// connection and epoch ever seen and are never pruned — bounded for the
-// replay/rolling-restart deployments the sharded Session targets (one
-// Session per agent generation), unbounded for a single Session fed
-// forever. Continuous operation needs session cycling today; pruning
-// dispatched components' entries is a ROADMAP follow-up alongside
-// time-driven sealing, which the same deployments would need first.
+// Memory: the interning maps grow with every distinct connection and
+// epoch seen — unbounded for a single Session fed forever — unless the
+// caller retires dispatched components with Seal and Prune (tracking
+// enabled via EnablePruning). Seal tombstones a component's root: a
+// later activity resolving to it (a "late link") is counted in
+// LateLinks and detached onto a fresh component instead of resurrecting
+// the dispatched shard. Prune then deletes the component's
+// dir/epoch/ctxNode entries, so the maps stay bounded by *open* (plus
+// sealed-but-unpruned) components. The union-find parent array itself
+// still grows one slot per node — a few bytes per connection, accepted;
+// the maps and their keys were the leak.
+type Incremental struct {
+	mode    Mode
+	d       dsu
+	dir     map[activity.Channel]*chanInfo
+	epoch   map[activity.Context]int32 // ModeFlow: current request epoch
+	ctxNode map[activity.Context]int32 // ModeContext: whole-lifetime node
+	onMerge func(winner, loser int32)
+
+	keys       map[int32]*compKeys // root -> keys for Prune; nil = untracked
+	tombstones map[int32]struct{}  // sealed roots: late links detach
+	lateLinks  int
+	pruned     int
+}
+
 // chanInfo is the interned view of one directed channel: the union-find
 // node shared by both directions of the connection, and whether any
 // SEND/END was logged in this direction so far (a RECEIVE on a send-less
@@ -43,13 +61,13 @@ type chanInfo struct {
 	sendful bool
 }
 
-type Incremental struct {
-	mode    Mode
-	d       dsu
-	dir     map[activity.Channel]*chanInfo
-	epoch   map[activity.Context]int32 // ModeFlow: current request epoch
-	ctxNode map[activity.Context]int32 // ModeContext: whole-lifetime node
-	onMerge func(winner, loser int32)
+// compKeys is the reverse index Prune needs: every map key ever
+// associated with a component's root, folded across merges. Entries may
+// go stale (a context's epoch moves to another root); Prune re-resolves
+// each key before deleting.
+type compKeys struct {
+	chans []activity.Channel
+	ctxs  []activity.Context
 }
 
 // NewIncremental returns an empty incremental partitioner. onMerge, when
@@ -58,74 +76,167 @@ type Incremental struct {
 // winner root's before Add returns.
 func NewIncremental(mode Mode, onMerge func(winner, loser int32)) *Incremental {
 	return &Incremental{
-		mode:    mode,
-		dir:     make(map[activity.Channel]*chanInfo),
-		epoch:   make(map[activity.Context]int32),
-		ctxNode: make(map[activity.Context]int32),
-		onMerge: onMerge,
+		mode:       mode,
+		dir:        make(map[activity.Channel]*chanInfo),
+		epoch:      make(map[activity.Context]int32),
+		ctxNode:    make(map[activity.Context]int32),
+		onMerge:    onMerge,
+		tombstones: make(map[int32]struct{}),
 	}
 }
 
+// EnablePruning turns on the reverse index Prune needs to free a
+// component's map entries. Must be called before the first Add: the
+// index is complete only if every key was recorded from the start.
+// Callers that never retire components (close-driven sessions, batch
+// scans) skip it and pay no per-key tracking cost.
+func (in *Incremental) EnablePruning() {
+	in.keys = make(map[int32]*compKeys)
+}
+
+// union joins two nodes' sets, folding the loser root's reverse-index
+// keys into the winner's before the user merge callback fires.
 func (in *Incremental) union(a, b int32) {
-	if w, l, merged := in.d.union(a, b); merged && in.onMerge != nil {
-		in.onMerge(w, l)
+	if w, l, merged := in.d.union(a, b); merged {
+		if lk := in.keys[l]; lk != nil {
+			if wk := in.keys[w]; wk != nil {
+				wk.chans = append(wk.chans, lk.chans...)
+				wk.ctxs = append(wk.ctxs, lk.ctxs...)
+			} else {
+				in.keys[w] = lk
+			}
+			delete(in.keys, l)
+		}
+		if in.onMerge != nil {
+			in.onMerge(w, l)
+		}
 	}
+}
+
+// sealed reports whether the node currently resolves to a tombstoned
+// (sealed/dispatched) root.
+func (in *Incremental) sealed(n int32) bool {
+	_, ok := in.tombstones[in.d.find(n)]
+	return ok
+}
+
+func (in *Incremental) rootKeys(n int32) *compKeys {
+	r := in.d.find(n)
+	k := in.keys[r]
+	if k == nil {
+		k = &compKeys{}
+		in.keys[r] = k
+	}
+	return k
+}
+
+func (in *Incremental) noteChan(ch activity.Channel, n int32) {
+	if in.keys == nil {
+		return
+	}
+	k := in.rootKeys(n)
+	k.chans = append(k.chans, ch)
+}
+
+func (in *Incremental) noteCtx(ctx activity.Context, n int32) {
+	if in.keys == nil {
+		return
+	}
+	k := in.rootKeys(n)
+	k.ctxs = append(k.ctxs, ctx)
 }
 
 // channel interns the activity's directed channel, sharing one union-find
 // node across both directions of the connection, and records whether this
-// direction has carried a SEND/END so far.
-func (in *Incremental) channel(a *activity.Activity) *chanInfo {
-	ci := in.dir[a.Chan]
+// direction has carried a SEND/END so far. late reports that an existing
+// entry resolved to a sealed root and was detached onto a fresh node.
+func (in *Incremental) channel(a *activity.Activity) (ci *chanInfo, late bool) {
+	ci = in.dir[a.Chan]
+	if ci != nil && in.sealed(ci.node) {
+		delete(in.dir, a.Chan)
+		ci, late = nil, true
+	}
 	if ci == nil {
-		if rev := in.dir[a.Chan.Reverse()]; rev != nil {
+		rev := in.dir[a.Chan.Reverse()]
+		if rev != nil && in.sealed(rev.node) {
+			delete(in.dir, a.Chan.Reverse())
+			rev, late = nil, true
+		}
+		if rev != nil {
 			ci = &chanInfo{node: rev.node}
 		} else {
 			ci = &chanInfo{node: in.d.node()}
 		}
 		in.dir[a.Chan] = ci
+		in.noteChan(a.Chan, ci.node)
 	}
 	if a.Type == activity.Send || a.Type == activity.End {
 		ci.sendful = true
 	}
-	return ci
+	return ci, late
 }
 
 // Add assigns one classified activity to its flow component and returns
 // the component's current union-find root. Roots are invalidated by later
 // merges; OnMerge reports every (winner, loser) transition, and Root
 // re-resolves a stale value.
+//
+// An activity whose interned channel or context resolves to a Sealed root
+// is a late link: it is counted in LateLinks and detached — the stale
+// entries are re-interned on fresh nodes — so it starts (or joins) a
+// fresh component and the dispatched one is never returned again.
 func (in *Incremental) Add(a *activity.Activity) int32 {
-	ci := in.channel(a)
+	ci, late := in.channel(a)
 	ch := ci.node
 
 	if in.mode == ModeContext {
 		cn, ok := in.ctxNode[a.Ctx]
+		if ok && in.sealed(cn) {
+			delete(in.ctxNode, a.Ctx)
+			ok = false
+			// A BEGIN on a retired thread is a new request reusing it —
+			// normal operation, detached silently. Anything else is the
+			// context continuing work the seal cut off: a straggler.
+			if a.Type != activity.Begin {
+				late = true
+			}
+		}
 		if !ok {
 			cn = in.d.node()
 			in.ctxNode[a.Ctx] = cn
+			in.noteCtx(a.Ctx, cn)
 		}
 		in.union(cn, ch)
+		if late {
+			in.lateLinks++
+		}
 		return in.d.find(cn)
 	}
 
 	// ModeFlow: scope the context relation to request epochs, exactly as
 	// the batch scan does, except for the online inert-receive treatment
 	// documented on the type.
+	//
+	// A sealed current epoch matters only on the paths that would union
+	// into it (the channel() detach guarantees ch is never sealed, so the
+	// find(e) == find(ch) reuse cases can never pick a sealed epoch); the
+	// paths that replace the epoch anyway drop the stale reference for
+	// free and are NOT late links — a new request beginning on a retired
+	// thread is normal operation, not a straggler.
+	e, ok := in.epoch[a.Ctx]
 	var n int32
 	switch a.Type {
 	case activity.Begin:
-		e, ok := in.epoch[a.Ctx]
 		if ok && in.d.find(e) == in.d.find(ch) {
 			n = e
 		} else {
 			e = in.d.node()
 			in.union(e, ch)
 			in.epoch[a.Ctx] = e
+			in.noteCtx(a.Ctx, e)
 			n = e
 		}
 	case activity.Receive:
-		e, ok := in.epoch[a.Ctx]
 		switch {
 		case ok && in.d.find(e) == in.d.find(ch):
 			n = e
@@ -135,9 +246,20 @@ func (in *Incremental) Add(a *activity.Activity) int32 {
 			// alone; online the SEND may simply not have been pushed, so
 			// join the connection to the current epoch without breaking
 			// it — coarser, never under-merged.
+			if ok && in.sealed(e) {
+				// Fresh connection, retired epoch: a reused idle thread
+				// starting new work. Joining the old epoch was only the
+				// online coarsening, so detach silently — not a late
+				// link (a true per-request straggler arrives on the
+				// sealed component's own connection and is counted by
+				// the channel detach above).
+				delete(in.epoch, a.Ctx)
+				ok = false
+			}
 			if !ok {
 				e = in.d.node()
 				in.epoch[a.Ctx] = e
+				in.noteCtx(a.Ctx, e)
 			}
 			in.union(e, ch)
 			n = e
@@ -145,18 +267,73 @@ func (in *Incremental) Add(a *activity.Activity) int32 {
 			e = in.d.node()
 			in.union(e, ch)
 			in.epoch[a.Ctx] = e
+			in.noteCtx(a.Ctx, e)
 			n = e
 		}
 	default: // Send, End, MaxType
-		e, ok := in.epoch[a.Ctx]
+		if ok && in.sealed(e) {
+			// The context keeps sending after its epoch's component was
+			// dispatched: work the forced seal cut mid-request — the CAG
+			// is split, so this IS a late link.
+			delete(in.epoch, a.Ctx)
+			ok, late = false, true
+		}
 		if !ok {
 			e = in.d.node()
 			in.epoch[a.Ctx] = e
+			in.noteCtx(a.Ctx, e)
 		}
 		in.union(e, ch)
 		n = e
 	}
+	if late {
+		in.lateLinks++
+	}
 	return in.d.find(n)
+}
+
+// Seal tombstones a component's root: the caller has dispatched the
+// component and its buffers must never grow again. From now on an
+// activity resolving to this root is a late link — counted, detached
+// onto a fresh component — and the root is never returned by Add again.
+// Seal is idempotent; Prune frees the component's map entries later.
+func (in *Incremental) Seal(root int32) {
+	in.tombstones[in.d.find(root)] = struct{}{}
+}
+
+// Prune deletes a sealed component's interning entries — its share of
+// dir/epoch/ctxNode — and retires the tombstone, bounding the maps by
+// the components not yet pruned. Requires EnablePruning before the
+// first Add (without the key index Prune only drops the tombstone).
+// Keys that moved on (an epoch re-opened under a live root, or an entry
+// already detached by a late link) are left alone. After Prune the
+// component is indistinguishable from never having been seen: a
+// returning connection starts a fresh component without incrementing
+// LateLinks, which is why callers should keep the Seal→Prune window
+// wide enough to catch the stragglers they care about (the sharded
+// Session prunes one seal horizon after dispatch).
+func (in *Incremental) Prune(root int32) {
+	root = in.d.find(root)
+	if k := in.keys[root]; k != nil {
+		for _, ch := range k.chans {
+			if ci, ok := in.dir[ch]; ok && in.d.find(ci.node) == root {
+				delete(in.dir, ch)
+			}
+		}
+		for _, cx := range k.ctxs {
+			if e, ok := in.epoch[cx]; ok && in.d.find(e) == root {
+				delete(in.epoch, cx)
+			}
+			if cn, ok := in.ctxNode[cx]; ok && in.d.find(cn) == root {
+				delete(in.ctxNode, cx)
+			}
+		}
+		delete(in.keys, root)
+	}
+	// Every entry resolving to the root is gone, so Add can never reach
+	// the tombstone again — drop it too, keeping ALL bookkeeping bounded.
+	delete(in.tombstones, root)
+	in.pruned++
 }
 
 // Root resolves a component id previously returned by Add to its current
@@ -166,3 +343,23 @@ func (in *Incremental) Root(n int32) int32 { return in.d.find(n) }
 // Components returns the number of union-find nodes allocated so far —
 // an upper bound on live components, for diagnostics.
 func (in *Incremental) Components() int { return len(in.d.parent) }
+
+// LateLinks returns how many added activities genuinely linked to a
+// sealed (dispatched) component — arrived on one of its connections, or
+// continued its context mid-request — and were detached onto a fresh
+// component: each a correlation the forced-seal tradeoff gave up. A new
+// request merely *beginning* on a reused idle thread (or a fresh
+// connection touching a retired epoch through the online coarsening) is
+// detached without being counted; it never belonged to the dispatched
+// work.
+func (in *Incremental) LateLinks() int { return in.lateLinks }
+
+// Pruned returns how many components have been pruned.
+func (in *Incremental) Pruned() int { return in.pruned }
+
+// Sizes returns the interning map populations (directed channels, flow
+// epochs, context nodes) — the quantities Prune keeps bounded by unpruned
+// components.
+func (in *Incremental) Sizes() (dirs, epochs, ctxNodes int) {
+	return len(in.dir), len(in.epoch), len(in.ctxNode)
+}

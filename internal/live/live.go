@@ -69,6 +69,12 @@ type IntervalStat struct {
 	// TopPattern is the most frequent pattern name.
 	TopPattern string
 	Alerts     int
+	// SkippedEmpty is how many empty intervals were skipped between the
+	// previously closed interval and this one: a quiet gap closes no
+	// per-interval state and appends no history rows (a multi-hour lull
+	// at a 1s interval must not spin thousands of closes) — the covered
+	// span is recorded here instead.
+	SkippedEmpty int
 }
 
 type patternBaseline struct {
@@ -88,6 +94,9 @@ type Monitor struct {
 	history    []IntervalStat
 	lastEnd    time.Duration
 	outOfOrder int
+
+	pendingSkipped int // empty intervals skipped since the last close
+	skippedEmpty   int // total empty intervals skipped over all gaps
 }
 
 // NewMonitor returns a monitor with the given configuration.
@@ -123,25 +132,42 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 	if m.cur == nil {
 		m.cur = &bucket{start: t - t%m.cfg.Interval, graphs: make(map[string][]*cag.Graph)}
 	}
-	for t >= m.cur.start+m.cfg.Interval {
+	if t >= m.cur.start+m.cfg.Interval {
+		// Close the current interval once, then jump straight to the
+		// bucket containing t: the empty intervals in between are counted
+		// (next IntervalStat.SkippedEmpty), never individually closed — a
+		// multi-hour quiet spell at a 1s interval must not spin thousands
+		// of closeInterval calls and bloat the history.
 		m.closeInterval()
-		m.cur = &bucket{start: m.cur.start + m.cfg.Interval, graphs: make(map[string][]*cag.Graph)}
+		next := m.cur.start + m.cfg.Interval
+		target := t - (t-m.cur.start)%m.cfg.Interval
+		if target > next {
+			skipped := int((target - next) / m.cfg.Interval)
+			m.pendingSkipped += skipped
+			m.skippedEmpty += skipped
+		}
+		m.cur = &bucket{start: target, graphs: make(map[string][]*cag.Graph)}
 	}
 	sig := cag.Signature(g)
 	m.cur.graphs[sig] = append(m.cur.graphs[sig], g)
 	m.ingested++
 }
 
-// Flush closes the current interval (end of stream).
+// Flush closes the current interval (end of stream). A current bucket is
+// closed even when it holds no graphs — consistent with the gap handling
+// in Ingest — so Intervals() and History() agree with the span the
+// monitor actually covered instead of silently dropping a trailing
+// quiet interval.
 func (m *Monitor) Flush() {
-	if m.cur != nil && len(m.cur.graphs) > 0 {
+	if m.cur != nil {
 		m.closeInterval()
 	}
 	m.cur = nil
 }
 
 func (m *Monitor) closeInterval() {
-	stat := IntervalStat{Index: m.index, Start: m.cur.start}
+	stat := IntervalStat{Index: m.index, Start: m.cur.start, SkippedEmpty: m.pendingSkipped}
+	m.pendingSkipped = 0
 	alertsBefore := len(m.alerts)
 	sigs := make([]string, 0, len(m.cur.graphs))
 	for sig := range m.cur.graphs {
@@ -268,8 +294,15 @@ func blend(base, next *analysis.PatternReport, weight int) *analysis.PatternRepo
 // Alerts returns all alerts raised so far.
 func (m *Monitor) Alerts() []Alert { return m.alerts }
 
-// Intervals returns the number of closed intervals.
+// Intervals returns the number of closed (non-empty or trailing)
+// intervals; empty gap intervals are skipped, not closed — see
+// SkippedEmpty for the rest of the covered span.
 func (m *Monitor) Intervals() int { return m.intervals }
+
+// SkippedEmpty returns the total number of empty intervals skipped over
+// quiet gaps. Intervals() + SkippedEmpty() is the full span covered
+// between the first ingested CAG and the last closed interval.
+func (m *Monitor) SkippedEmpty() int { return m.skippedEmpty }
 
 // Ingested returns the number of CAGs consumed.
 func (m *Monitor) Ingested() int { return m.ingested }
@@ -286,10 +319,10 @@ func (m *Monitor) History() []IntervalStat { return m.history }
 // HistoryTable renders the interval history for terminal output.
 func (m *Monitor) HistoryTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-5s %-10s %8s %12s %7s  %s\n", "intvl", "start", "requests", "mean_lat", "alerts", "top_pattern")
+	fmt.Fprintf(&b, "%-5s %-10s %8s %12s %7s %7s  %s\n", "intvl", "start", "requests", "mean_lat", "alerts", "gap", "top_pattern")
 	for _, st := range m.history {
-		fmt.Fprintf(&b, "%-5d %-10v %8d %12v %7d  %s\n",
-			st.Index, st.Start, st.Requests, st.MeanLatency.Round(time.Microsecond), st.Alerts, st.TopPattern)
+		fmt.Fprintf(&b, "%-5d %-10v %8d %12v %7d %7d  %s\n",
+			st.Index, st.Start, st.Requests, st.MeanLatency.Round(time.Microsecond), st.Alerts, st.SkippedEmpty, st.TopPattern)
 	}
 	return b.String()
 }
@@ -299,6 +332,9 @@ func (m *Monitor) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "live monitor: %d CAGs over %d intervals, %d alerts\n",
 		m.ingested, m.intervals, len(m.alerts))
+	if m.skippedEmpty > 0 {
+		fmt.Fprintf(&b, "  (%d empty intervals skipped over quiet gaps)\n", m.skippedEmpty)
+	}
 	for _, a := range m.alerts {
 		fmt.Fprintf(&b, "  %s\n", a)
 	}

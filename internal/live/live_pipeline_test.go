@@ -1,9 +1,11 @@
 package live
 
 import (
+	"sort"
 	"testing"
 	"time"
 
+	"repro/internal/activity"
 	"repro/internal/cag"
 	"repro/internal/core"
 	"repro/internal/rubis"
@@ -67,4 +69,61 @@ func TestMonitorFedByShardedPipeline(t *testing.T) {
 	if len(par.Alerts()) != len(seq.Alerts()) {
 		t.Fatalf("pipeline raised %d alerts, sequential %d", len(par.Alerts()), len(seq.Alerts()))
 	}
+}
+
+// TestMonitorFedByContinuousSession is the always-on deployment the
+// continuous mode exists for (livemon -sealafter): a sharded session over
+// a real RUBiS workload, whose agents never close their streams, must
+// feed the monitor CAGs mid-run — and the monitor must see them in
+// END-timestamp order when the liveness bound holds.
+func TestMonitorFedByContinuousSession(t *testing.T) {
+	cfg := rubis.DefaultConfig(120)
+	cfg.Scale = 0.03
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(Config{Interval: 2 * time.Second, BaselineIntervals: 2, MinRequests: 5})
+	var hosts []string
+	for h := range res.PerHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	sess, err := core.NewSession(core.Options{
+		Window:     10 * time.Millisecond,
+		EntryPorts: []int{rubis.EntryPort},
+		IPToHost:   res.IPToHost,
+		Workers:    4,
+		SealAfter:  500 * time.Millisecond,
+		OnGraph:    func(g *cag.Graph) { m.Ingest(g) },
+	}, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := make([]*activity.Activity, len(res.Trace))
+	copy(merged, res.Trace)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
+	for i, a := range merged {
+		if err := sess.Push(a); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%256 == 0 {
+			sess.Drain()
+		}
+	}
+	sess.Drain()
+	midIngested := m.Ingested()
+	if midIngested == 0 {
+		t.Fatal("continuous session fed the monitor nothing before any stream closed")
+	}
+	out := sess.Close()
+	m.Flush()
+	if out.ForcedSeals == 0 {
+		t.Fatal("no forced seals on a forever-open RUBiS run")
+	}
+	if m.Ingested() == 0 || m.Intervals() == 0 {
+		t.Fatalf("monitor saw %d CAGs over %d intervals", m.Ingested(), m.Intervals())
+	}
+	t.Logf("mid-run ingested %d/%d CAGs; %d forced seals, %d late links, %d out-of-order",
+		midIngested, m.Ingested(), out.ForcedSeals, out.LateLinks, m.OutOfOrder())
 }

@@ -128,13 +128,93 @@ func TestMonitorSkipsSparsePatterns(t *testing.T) {
 
 func TestMonitorEmptyIntervalsSkipped(t *testing.T) {
 	m := NewMonitor(Config{Interval: 100 * time.Millisecond, BaselineIntervals: 1, MinRequests: 1})
-	// Two CAGs three intervals apart: the empty gap intervals must close
-	// without panicking or alerting.
+	// Two CAGs three intervals apart: the empty gap intervals are skipped
+	// in one jump, recorded on the next closed interval's stat.
 	m.Ingest(buildGraph(t, 50*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 1))
 	m.Ingest(buildGraph(t, 350*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 2))
 	m.Flush()
-	if m.Intervals() < 2 {
-		t.Fatalf("intervals = %d", m.Intervals())
+	if m.Intervals() != 2 {
+		t.Fatalf("intervals = %d, want 2 (gap intervals skipped, not closed)", m.Intervals())
+	}
+	if m.SkippedEmpty() != 2 {
+		t.Fatalf("SkippedEmpty = %d, want 2", m.SkippedEmpty())
+	}
+	hist := m.History()
+	if len(hist) != 2 {
+		t.Fatalf("history rows = %d, want 2", len(hist))
+	}
+	if hist[0].SkippedEmpty != 0 || hist[1].SkippedEmpty != 2 {
+		t.Fatalf("per-stat skipped counts = %d/%d, want 0/2", hist[0].SkippedEmpty, hist[1].SkippedEmpty)
+	}
+	if hist[1].Start != 300*time.Millisecond {
+		t.Fatalf("post-gap interval starts at %v, want 300ms", hist[1].Start)
+	}
+}
+
+// TestMonitorLongGapDoesNotSpin is the gap bugfix: a multi-hour quiet
+// spell at a 1-second interval must jump straight to the bucket holding
+// the next CAG — constant work and two history rows, not ten thousand
+// closeInterval calls.
+func TestMonitorLongGapDoesNotSpin(t *testing.T) {
+	m := NewMonitor(Config{Interval: time.Second, BaselineIntervals: 1, MinRequests: 1})
+	m.Ingest(buildGraph(t, 500*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 1))
+	quiet := 3 * time.Hour
+	done := make(chan struct{})
+	go func() {
+		m.Ingest(buildGraph(t, quiet+500*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 2))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gap ingest did not return promptly (interval spin)")
+	}
+	m.Flush()
+	if got, want := m.Intervals(), 2; got != want {
+		t.Fatalf("intervals = %d, want %d", got, want)
+	}
+	wantSkipped := int(quiet/time.Second) - 1 // 10799 empties between bucket 0 and bucket 10800
+	if m.SkippedEmpty() != wantSkipped {
+		t.Fatalf("SkippedEmpty = %d, want %d", m.SkippedEmpty(), wantSkipped)
+	}
+	if len(m.History()) != 2 {
+		t.Fatalf("history bloated to %d rows", len(m.History()))
+	}
+}
+
+// TestMonitorFlushClosesTrailingEmpty is the Flush bugfix: the current
+// bucket is closed even when empty, so Intervals()/History() agree with
+// the span the monitor covered instead of silently dropping the tail.
+func TestMonitorFlushClosesTrailingEmpty(t *testing.T) {
+	m := NewMonitor(Config{Interval: 100 * time.Millisecond, BaselineIntervals: 1, MinRequests: 1})
+	m.Ingest(buildGraph(t, 50*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 1))
+	// Force an empty current bucket, as a feeder that drained without new
+	// CAGs would: close the populated interval via a far-future graph is
+	// not possible without data, so exercise the invariant directly —
+	// Flush on a monitor whose only bucket has data closes exactly one
+	// interval, and double Flush stays put.
+	m.Flush()
+	if m.Intervals() != 1 {
+		t.Fatalf("intervals = %d, want 1", m.Intervals())
+	}
+	m.Flush()
+	if m.Intervals() != 1 {
+		t.Fatalf("second Flush closed another interval: %d", m.Intervals())
+	}
+	// The bug itself: a non-nil but EMPTY current bucket (the state a
+	// pre-gap-fix feeder could leave behind) was silently dropped, making
+	// Intervals() understate the covered span. Build that state directly
+	// and check the empty interval closes cleanly: counted, zero
+	// requests, zero mean latency, no divide-by-zero.
+	m3 := NewMonitor(Config{Interval: 100 * time.Millisecond, BaselineIntervals: 1, MinRequests: 1})
+	m3.cur = &bucket{start: 200 * time.Millisecond, graphs: make(map[string][]*cag.Graph)}
+	m3.Flush()
+	if m3.Intervals() != 1 {
+		t.Fatalf("empty trailing bucket dropped: intervals = %d, want 1", m3.Intervals())
+	}
+	hist := m3.History()
+	if len(hist) != 1 || hist[0].Requests != 0 || hist[0].MeanLatency != 0 || hist[0].Start != 200*time.Millisecond {
+		t.Fatalf("empty interval stat = %+v", hist[0])
 	}
 }
 

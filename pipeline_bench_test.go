@@ -12,7 +12,10 @@ import (
 )
 
 // benchEntry is one measured configuration in the BENCH_pipeline.json
-// trajectory.
+// trajectory. NumCPU/GoMaxProcs are recorded per entry (not only in the
+// report header) so entries appended or compared across differently
+// sized hosts stay interpretable — 1-CPU numbers record pipeline
+// overhead, not speedup.
 type benchEntry struct {
 	Scale      float64 `json:"scale"`
 	Clients    int     `json:"clients"`
@@ -20,6 +23,8 @@ type benchEntry struct {
 	Graphs     int     `json:"graphs"`
 	Workers    int     `json:"workers"`
 	ShardBy    string  `json:"shard_by"`
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
 	BestNs     int64   `json:"best_ns"`
 	Speedup    float64 `json:"speedup_vs_seq"`
 }
@@ -116,8 +121,9 @@ func TestPipelineSpeedupTrajectory(t *testing.T) {
 			}
 			report.Entries = append(report.Entries, benchEntry{
 				Scale: sc.scale, Clients: sc.clients, Activities: len(res.Trace), Graphs: graphs,
-				Workers: w, ShardBy: core.ShardByFlow.String(), BestNs: int64(best),
-				Speedup: float64(seq) / float64(best),
+				Workers: w, ShardBy: core.ShardByFlow.String(),
+				NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+				BestNs: int64(best), Speedup: float64(seq) / float64(best),
 			})
 			t.Logf("scale=%.2f workers=%d best=%v (%.2fx vs sequential)", sc.scale, w, best, float64(seq)/float64(best))
 		}
