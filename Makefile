@@ -16,12 +16,22 @@ GO ?= go
 # SealAfter continuous mode) and the online monitor live in.
 COVER_MIN ?= 85
 
-.PHONY: ci vet build test race cover bench
+.PHONY: ci vet lint build test race cover bench
 
-ci: vet build test race cover bench
+ci: vet lint build test race cover bench
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is the second linter gate (hosted CI installs it; see
+# .github/workflows/ci.yml). Local runs without the binary skip it with a
+# note instead of failing, so `make ci` works on a hermetic box.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (hosted CI runs it — go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
+	fi
 
 build:
 	$(GO) build ./...

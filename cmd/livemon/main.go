@@ -7,9 +7,11 @@
 //
 //	rubisgen -clients 300 -scale 0.1 -splitdir traces/
 //	livemon -indir traces/ -interval 5s
+//	livemon -indir traces/ -sealafter 50ms,db1=500ms -heartbeat 25ms
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +25,20 @@ import (
 	"repro/internal/live"
 )
 
+// errUsage marks a rejected flag value: main prints the flag usage after
+// the error instead of failing silently on a misconfiguration.
+var errUsage = errors.New("invalid flag value")
+
+func usagef(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "livemon:", err)
+		if errors.Is(err, errUsage) {
+			flag.Usage()
+		}
 		os.Exit(1)
 	}
 }
@@ -39,25 +52,35 @@ func run() error {
 		threshold = flag.Float64("threshold", 8, "alert threshold in latency-share percentage points")
 		entryPort = flag.Int("entryport", 80, "first-tier service port")
 		chunk     = flag.Int("chunk", 256, "records pushed between drain rounds")
-		workers   = flag.Int("workers", 1, "correlation workers; >1 shards the push-mode session per flow component, 0 uses all CPUs")
-		sealAfter = flag.Duration("sealafter", 0, "continuous mode (needs -workers >1): force-seal components idle longer than this in activity time, so CAGs flow without agent restarts; 0 = close-driven sealing only")
+		workers   = flag.Int("workers", 1, "correlation workers sizing the streaming engine's pool (1 = sequential configuration, 0 = all CPUs)")
+		sealAfter = flag.String("sealafter", "", "activity-time seal horizon(s): a default duration and/or host=duration overrides, comma-separated (e.g. '50ms,db1=500ms'); empty = close-driven sealing only")
+		heartbeat = flag.Duration("heartbeat", 0, "agent liveness cadence in activity time: every host asserts progress at this interval so quiet streams do not stall emission; 0 = no heartbeats")
 	)
 	flag.Parse()
 	if *inDir == "" {
-		return fmt.Errorf("-indir is required")
+		return usagef("-indir is required")
 	}
-	// Resolve the worker count before touching any input: continuous mode
-	// needs the sharded session, and a flag error should not cost a full
-	// trace read. "-workers 0" (all CPUs) on a single-CPU host resolves
-	// to 1; honour the continuous-mode request by clamping up to the
-	// smallest sharded pool instead of rejecting it.
-	nWorkers := core.ResolveWorkers(*workers)
-	if *sealAfter > 0 && nWorkers <= 1 {
-		if *workers == 0 {
-			nWorkers = 2
-		} else {
-			return fmt.Errorf("-sealafter needs -workers > 1 (the sequential session is close-driven)")
-		}
+	if *window <= 0 {
+		return usagef("-window must be > 0 (got %v)", *window)
+	}
+	if *interval <= 0 {
+		return usagef("-interval must be > 0 (got %v)", *interval)
+	}
+	if *baseline <= 0 {
+		return usagef("-baseline must be > 0 (got %d)", *baseline)
+	}
+	if *chunk <= 0 {
+		return usagef("-chunk must be > 0 (got %d)", *chunk)
+	}
+	if *workers < 0 {
+		return usagef("-workers must be >= 0 (got %d; 0 = all CPUs)", *workers)
+	}
+	if *heartbeat < 0 {
+		return usagef("-heartbeat must be >= 0 (got %v)", *heartbeat)
+	}
+	sealDefault, sealByHost, err := core.ParseSealAfterSpec(*sealAfter)
+	if err != nil {
+		return usagef("%v", err)
 	}
 
 	perHost, err := activity.ReadHostLogs(*inDir)
@@ -65,10 +88,8 @@ func run() error {
 		return err
 	}
 	var hosts []string
-	total := 0
-	for h, log := range perHost {
+	for h := range perHost {
 		hosts = append(hosts, h)
-		total += len(log)
 	}
 	sort.Strings(hosts)
 
@@ -81,19 +102,20 @@ func run() error {
 
 	merged := activity.Merge(perHost)
 	opts := core.Options{
-		Window:     *window,
-		EntryPorts: []int{*entryPort},
-		IPToHost:   activity.InferIPToHost(merged),
-		OnGraph:    func(g *cag.Graph) { monitor.Ingest(g) },
-		SealAfter:  *sealAfter,
+		Window:          *window,
+		EntryPorts:      []int{*entryPort},
+		IPToHost:        activity.InferIPToHost(merged),
+		OnGraph:         func(g *cag.Graph) { monitor.Ingest(g) },
+		Workers:         core.ResolveWorkers(*workers),
+		SealAfter:       sealDefault,
+		SealAfterByHost: sealByHost,
 	}
 
-	// Both worker counts run the push-mode session: with Workers > 1 it is
-	// the sharded session, whose watermark emitter delivers CAGs in the
-	// END-timestamp order Monitor.Ingest needs. -sealafter additionally
-	// lets that session emit continuously without waiting for any stream
-	// to close — the always-on deployment the paper motivates.
-	opts.Workers = nWorkers
+	// Every worker count runs the same streaming engine; its watermark
+	// emitter delivers CAGs in the END-timestamp order Monitor.Ingest
+	// needs. -sealafter turns it continuous — CAGs flow without waiting
+	// for any stream to close — and per-host overrides let a chronically
+	// lagging agent keep a longer horizon without splitting its requests.
 	sess, err := core.NewSession(opts, hosts)
 	if err != nil {
 		return err
@@ -102,11 +124,23 @@ func run() error {
 	// pushed per-host (which preserves each host's local order).
 	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
 	var pushed int
+	var lastBeat time.Duration
 	for _, a := range merged {
 		if err := sess.Push(a); err != nil {
 			return err
 		}
 		pushed++
+		// The replay is globally timestamp-ordered, so at clock t every
+		// agent can honestly assert it holds nothing older than t — the
+		// heartbeat a real deployment's agents would send on a timer.
+		if *heartbeat > 0 && a.Timestamp >= lastBeat+*heartbeat {
+			lastBeat = a.Timestamp
+			for _, h := range hosts {
+				if err := sess.Heartbeat(h, a.Timestamp); err != nil {
+					return err
+				}
+			}
+		}
 		if pushed%*chunk == 0 {
 			sess.Drain()
 		}
@@ -120,12 +154,12 @@ func run() error {
 		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", opts.Workers, res.SequentialFallback)
 	}
 	if res.Shards > 0 {
-		fmt.Printf("sharded session: %d flow components across %d workers; per-shard peaks: %d buffered activities, %d resident vertices (largest shard)\n",
+		fmt.Printf("streaming engine: %d flow components across %d workers; per-shard peaks: %d buffered activities, %d resident vertices (largest shard)\n",
 			res.Shards, opts.Workers, res.PeakBufferedActivities, res.PeakResidentVertices)
 	}
 	if res.ForcedSeals > 0 || res.LateLinks > 0 {
-		fmt.Printf("continuous mode: %d components force-sealed past the %v activity-time horizon; %d late links detached onto fresh components\n",
-			res.ForcedSeals, *sealAfter, res.LateLinks)
+		fmt.Printf("continuous mode: %d forced seals, %d late links (CAGs may be split; see core.Options.SealAfter)\n",
+			res.ForcedSeals, res.LateLinks)
 	}
 	if n := monitor.OutOfOrder(); n > 0 {
 		fmt.Printf("warning: %d CAGs arrived out of END-timestamp order; interval statistics may be skewed\n", n)
@@ -136,5 +170,9 @@ func run() error {
 	fmt.Print(monitor.Summary())
 	fmt.Println()
 	fmt.Print(monitor.HistoryTable())
+	if tbl := monitor.HostLagTable(); tbl != "" {
+		fmt.Println("\nper-host lag (newest correlated record vs newest overall; tune -sealafter host= overrides against this):")
+		fmt.Print(tbl)
+	}
 	return nil
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +29,20 @@ import (
 	htmlreport "repro/internal/report"
 )
 
+// errUsage marks a rejected flag value: main prints the flag usage after
+// the error instead of failing silently on a misconfiguration.
+var errUsage = errors.New("invalid flag value")
+
+func usagef(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "precisetracer:", err)
+		if errors.Is(err, errUsage) {
+			flag.Usage()
+		}
 		os.Exit(1)
 	}
 }
@@ -52,18 +64,38 @@ func run() error {
 		hops      = flag.Bool("hops", false, "print per-component latency distributions (p50/p95/p99)")
 		outliers  = flag.Int("outliers", 0, "show the N slowest requests and their dominant component")
 		lint      = flag.Bool("lint", false, "check the trace for integrity problems before correlating")
-		workers   = flag.Int("workers", 1, "correlation worker goroutines; >1 runs the sharded concurrent pipeline, 0 uses all CPUs")
-		shardBy   = flag.String("shardby", "flow", "shard partition policy for -workers >1: flow (request epochs) or context (whole context lifetimes)")
-		batch     = flag.Int("batch", 0, "flow components per pipeline batch (0 = default)")
+		workers   = flag.Int("workers", 1, "correlation workers sizing the streaming engine's pool (1 = sequential configuration, 0 = all CPUs)")
+		shardBy   = flag.String("shardby", "flow", "flow-component partition policy: flow (request epochs) or context (whole context lifetimes)")
+		batch     = flag.Int("batch", 0, "retained for compatibility; the streaming engine dispatches flow components individually, so this is validated but ignored")
+		sealAfter = flag.String("sealafter", "", "activity-time seal horizon(s) honoured by the offline replay: a default duration and/or host=duration overrides, comma-separated (e.g. '50ms,db1=500ms'); empty = close-driven sealing only")
 	)
 	flag.Parse()
 	if *in == "" && *inDir == "" {
-		return fmt.Errorf("-in or -indir is required")
+		return usagef("-in or -indir is required")
+	}
+	if *window <= 0 {
+		return usagef("-window must be > 0 (got %v)", *window)
+	}
+	if *workers < 0 {
+		return usagef("-workers must be >= 0 (got %d; 0 = all CPUs)", *workers)
+	}
+	if *batch < 0 {
+		return usagef("-batch must be >= 0 (got %d)", *batch)
+	}
+	if *dumpN < 0 {
+		return usagef("-dump must be >= 0 (got %d)", *dumpN)
+	}
+	if *outliers < 0 {
+		return usagef("-outliers must be >= 0 (got %d)", *outliers)
 	}
 
 	ports, err := parsePorts(*entry)
 	if err != nil {
-		return err
+		return usagef("%v", err)
+	}
+	sealDefault, sealByHost, err := core.ParseSealAfterSpec(*sealAfter)
+	if err != nil {
+		return usagef("%v", err)
 	}
 	nWorkers := core.ResolveWorkers(*workers)
 	var mode core.ShardMode
@@ -73,7 +105,7 @@ func run() error {
 	case "context":
 		mode = core.ShardByContext
 	default:
-		return fmt.Errorf("unknown -shardby %q (want flow or context)", *shardBy)
+		return usagef("unknown -shardby %q (want flow or context)", *shardBy)
 	}
 	opts := core.Options{
 		Window:          *window,
@@ -82,6 +114,8 @@ func run() error {
 		Workers:         nWorkers,
 		ShardBy:         mode,
 		BatchSize:       *batch,
+		SealAfter:       sealDefault,
+		SealAfterByHost: sealByHost,
 	}
 	if *deny != "" {
 		m := make(map[string]bool)
@@ -146,16 +180,17 @@ func run() error {
 		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", nWorkers, res.SequentialFallback)
 	}
 	if res.ForcedSeals > 0 || res.LateLinks > 0 {
-		// Batch runs never force-seal; this surfaces the continuous-mode
-		// counters should a session-backed input path feed this Result.
+		// The offline replay honours -sealafter, reproducing a continuous
+		// deployment's seals and splits deterministically from a recorded
+		// trace.
 		fmt.Printf("continuous mode: %d forced seals, %d late links (CAGs may be split; see core.Options.SealAfter)\n",
 			res.ForcedSeals, res.LateLinks)
 	}
-	if nWorkers > 1 && res.SequentialFallback == "" {
-		// Parallel mode materialises the full trace and holds every
-		// finished CAG through the merge; the correlator-state peaks
+	if res.Shards > 0 {
+		// The streaming engine buffers every unsealed component and holds
+		// finished CAGs through the watermark; the correlator-state peaks
 		// below are per-shard maxima, not the process footprint.
-		fmt.Printf("memory estimate: %.2f MB largest-shard correlator state across %d shards (peak buffered %d activities, %d resident vertices; batch mode keeps the whole trace resident)\n",
+		fmt.Printf("memory estimate: %.2f MB largest-shard correlator state across %d shards (peak buffered %d activities, %d resident vertices; unsealed components stay resident — see -sealafter)\n",
 			float64(res.EstimatedBytes())/(1<<20), res.Shards, res.PeakBufferedActivities, res.PeakResidentVertices)
 	} else {
 		fmt.Printf("memory estimate: %.2f MB (peak buffered %d activities, %d resident vertices)\n",

@@ -12,9 +12,9 @@
 //
 // Layout:
 //
-//	internal/core        Correlator façade (the public entry point), both
-//	                     the sequential pass and the sharded concurrent
-//	                     pipeline (Options.Workers > 1)
+//	internal/core        Correlator/Session façade (the public entry
+//	                     point) and the one streaming correlation engine
+//	                     every execution mode is a configuration of
 //	internal/flow        shard-key computation: union-find closure over
 //	                     TCP channels and context epochs
 //	internal/ranker      candidate selection: sliding window, Rule 1/2,
@@ -37,87 +37,69 @@
 // correlator CLI), cmd/experiments (regenerate the evaluation). Runnable
 // walk-throughs live under examples/.
 //
-// # Concurrency architecture
+// # The streaming pipeline
 //
-// The paper's correlator is sequential; this reproduction adds a sharded
-// concurrent mode (core.Options{Workers, ShardBy, BatchSize}) for batch
-// traces, keyed on three guarantees:
+// The paper's correlation algorithm is one pipeline, and this
+// reproduction implements it once (internal/core/stream.go). Every
+// execution mode is a configuration of the same streaming engine — the
+// online Session pushes live records into it, the offline
+// CorrelateTrace/CorrelateSources/CorrelateDir calls replay a recorded
+// input through it (push every activity, close every host, drain), and
+// Options.Workers merely sizes its correlation pool (1 = the sequential
+// configuration):
 //
-//   - Shard key. Two activities can interact only through the engine's
-//     mmap (same TCP connection) or cmap (same execution context), so
-//     internal/flow closes the trace under those relations with a
-//     union-find and correlates each connected component independently.
-//     ShardByFlow additionally breaks context chains at request-epoch
-//     boundaries (thread-pool reuse must not fuse unrelated requests);
-//     ShardByContext keeps whole context lifetimes together.
-//   - Merge order. Each shard runs the unmodified ranker+engine pair; the
-//     merge stage re-sorts finished CAGs by END timestamp — exactly the
-//     sequential completion order — so Result.Graphs and the OnGraph
-//     stream are byte-identical to the sequential pass on well-formed
-//     traces (enforced by TestParallelEquivalence).
-//   - Backpressure. Components travel to the worker pool in batches over
-//     a bounded channel (2×Workers in flight), so the dispatcher blocks
-//     when workers fall behind and the number of live rankers/engines
-//     stays proportional to Workers, not to the trace size.
+//	Push / replay ──> incremental flow partition (flow.Incremental):
+//	        each activity joins a component on arrival; components fuse
+//	        when a TCP connection or context epoch links them. Where the
+//	        online scan lacks global knowledge (a RECEIVE before its
+//	        SEND) it unions more, never less — coarser shards stay exact.
+//	seal ──> a component seals when no open host can extend it (every
+//	        host owning one of its channel endpoints has closed — the
+//	        completion watermark), or, with a seal horizon configured,
+//	        when it has idled past the largest horizon of the hosts that
+//	        could still extend it.
+//	correlate ──> a bounded worker pool (Options.Workers) runs the
+//	        unmodified sequential ranker+engine pass over each sealed
+//	        component — the shard key guarantees independence, so the
+//	        paper's algorithm itself is untouched.
+//	emit ──> the watermark emitter releases finished CAGs in
+//	        deterministic END-timestamp order, holding back any graph
+//	        that a still-open stream or still-pending component could
+//	        yet precede.
 //
-// The partition stage itself is parallel (flow.PartitionParallel):
-// context epochs are host-local, so per-host scans run concurrently and
-// a final union pass stitches the cross-host channel links — output
-// byte-identical to the sequential scan.
+// Sealing is the one rule that decides both latency and safety. Purely
+// close-driven sealing (the default) never guesses: nothing is
+// correlated while an open stream could still change the decision, which
+// makes offline results byte-identical to the historical sequential
+// correlator (TestParallelEquivalence, TestParallelSessionEquivalence)
+// at every pool size. A seal horizon (Options.SealAfter, measured in
+// activity time, never wall clock) trades that guarantee for liveness: a
+// component idle past its horizon is force-sealed (Result.ForcedSeals),
+// quiet open streams bound the watermark by their own horizon, and the
+// flow partition's bookkeeping for dispatched components is tombstoned
+// then pruned, so a forever-open Session's memory tracks recently-active
+// components. A straggler that violates the horizon's sender-liveness
+// bound becomes a late link (Result.LateLinks): detached onto a fresh
+// component — possibly splitting its request's CAG — never resurrecting
+// a freed shard.
 //
-// # Online sharding (sharded Sessions)
+// Horizons are per host (Options.SealAfterByHost): a component inherits
+// the largest horizon among the hosts that can still extend it, so one
+// chronically lagging agent extends only its own components' deadlines
+// while everyone else's still seal on the short default. Session.Heartbeat
+// lets an idle-but-healthy agent advance the watermark (and the activity
+// clock) without traffic, so long horizons need not delay the ordered
+// output stream.
 //
-// Push-mode Sessions honour Options.Workers too (core/session_parallel.go).
-// The online safety rule — never emit while an open stream could change
-// the decision — is preserved by moving it from activities to components:
+// Offline correlation is literally a replay into this engine: the input
+// is pushed in order, every host is closed, and — when a horizon is
+// configured — the replay drains on a fixed record cadence, so a recorded
+// trace reproduces a continuous deployment's seals, splits and counters
+// deterministically. The batch partition stage also exists standalone
+// (flow.PartitionParallel) for shard-key analysis.
 //
-//   - Incremental partition. flow.Incremental assigns each pushed
-//     activity to a flow component as it arrives and fuses components
-//     when a TCP connection or context epoch links them (a merge
-//     callback folds the buffers). Where the batch scan consults global
-//     knowledge the online scan cannot have (a RECEIVE arriving before
-//     its SEND), it unions more, never less — coarser shards stay exact.
-//   - Completion watermarks. An activity can only join a component from
-//     a host owning one of the component's channel endpoints, so once
-//     every contributing host has closed (CloseHost), the component is
-//     sealed: handed to a worker-pool running the unmodified sequential
-//     ranker+engine over it.
-//   - Watermark emitter. Finished CAGs are released in deterministic
-//     END-timestamp order, held back while any pending component or open
-//     stream could still produce an earlier END. The full emitted
-//     sequence is byte-identical to the sequential Session's for the
-//     same push order (TestParallelSessionEquivalence); mid-run, Drain
-//     releases an order-consistent prefix that grows as streams close.
-//
-// # Continuous operation (forever-open sessions)
-//
-// Close-driven sealing alone starves an always-on deployment: agents
-// that never restart never call CloseHost, so nothing seals and
-// flow.Incremental's interning maps remember every connection ever
-// seen. Options.SealAfter > 0 is the opt-in continuous mode replacing
-// the old "cycle one Session per agent generation" workaround:
-//
-//   - Activity-time seal horizon. At each Drain, a component whose
-//     newest activity has fallen more than SealAfter behind the newest
-//     pushed timestamp is force-sealed and correlated even though its
-//     hosts are still open (Result.ForcedSeals); the watermark treats
-//     quiet open streams as bounded by the same horizon, so emission
-//     advances. Staleness is measured on pushed timestamps, never wall
-//     clock — replays stay deterministic and testable.
-//   - Pruning with tombstones. A dispatched component's root is
-//     tombstoned in flow.Incremental and its dir/epoch/ctxNode entries
-//     are deleted one horizon later, bounding memory by recently-active
-//     components. A straggler that resolves to a tombstoned root — the
-//     sender-liveness bound was violated — is counted in
-//     Result.LateLinks and detached onto a fresh component instead of
-//     resurrecting the freed shard.
-//   - The tradeoff. A forced seal gives up the no-guess guarantee for
-//     exactly the components it seals: a straggler splits its request's
-//     CAG (and may regress the emitted END order, which live.Monitor
-//     counts in OutOfOrder). SealAfter = 0 keeps today's strictly
-//     close-driven, byte-identical behaviour.
-//
-// PaperExactNoise still forces the sequential pass (the Fig. 5 predicate
-// reads the global window buffer); that degradation is surfaced in
-// Result.SequentialFallback instead of happening silently.
+// The one exception is the PaperExactNoise ablation: the literal Fig. 5
+// is_noise predicate reads the global window buffer, so it runs the
+// single undivided ranker+engine pass; a Workers > 1 request in that mode
+// is surfaced in Result.SequentialFallback instead of degrading silently.
 package repro

@@ -11,6 +11,10 @@
 // plus the §3.1 transformation step that classifies frontier RECEIVE/SEND
 // records into BEGIN/END activities.
 //
+// Every execution mode is the same streaming pipeline (see stream.go):
+// the offline CorrelateTrace/CorrelateSources/CorrelateDir calls replay
+// their input into it — push every activity, close every host, drain.
+//
 // Typical offline use:
 //
 //	trace, _ := activity.ReadAll(f)
@@ -21,11 +25,16 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/activity"
 	"repro/internal/cag"
 	"repro/internal/engine"
+	"repro/internal/flow"
 	"repro/internal/ranker"
 )
 
@@ -43,8 +52,9 @@ type Options struct {
 
 	// IPToHost maps every traced node's IP addresses to its hostname. Used
 	// by the ranker to reason about whether a matching SEND can still
-	// arrive. IPs absent from the map are treated as untraced (clients,
-	// noise sources).
+	// arrive, and by the streaming engine to track which hosts can still
+	// extend a flow component. IPs absent from the map are treated as
+	// untraced (clients, noise sources).
 	IPToHost map[string]string
 
 	// Filter drops activities at fetch time (attribute-based noise
@@ -52,55 +62,50 @@ type Options struct {
 	Filter ranker.Filter
 
 	// PaperExactNoise switches is_noise to the exact Fig. 5 predicate; see
-	// ranker.Config. For ablation only.
+	// ranker.Config. The predicate reads the global window buffer, so this
+	// mode runs the single global ranker+engine pass instead of the
+	// streaming engine (surfaced in Result.SequentialFallback when
+	// Workers > 1 asked for concurrency). For ablation only.
 	PaperExactNoise bool
 
 	// OnGraph, when non-nil, streams each finished CAG instead of
-	// accumulating all of them in the Result — bounding memory for long
-	// traces. With Workers > 1 the callback is invoked from the merge
-	// stage only (single-goroutine), in the same deterministic END-
-	// timestamp order the sequential path emits. The batch pipeline's
-	// merge stage holds every finished CAG until all shards complete;
-	// sharded Sessions release graphs incrementally as their completion
-	// watermark advances (see session_parallel.go), so long-running
-	// online use keeps the output side bounded by the open components.
+	// accumulating all of them in the Result — bounding the output side
+	// for long traces. The watermark emitter invokes the callback from one
+	// goroutine in deterministic END-timestamp order, releasing graphs
+	// incrementally as the completion watermark advances; the offline
+	// replay fires the same callback while draining, before the Correlate
+	// call returns.
 	OnGraph func(*cag.Graph)
 
-	// Workers selects the correlation execution mode. 0 or 1 runs the
-	// original single-threaded ranker+engine pass. Workers > 1 runs the
-	// sharded concurrent pipeline: the trace is partitioned into
-	// independent flow components (see internal/flow), correlated by a
-	// pool of Workers goroutines over bounded channels, and merged back
-	// into deterministic END-timestamp order, so the graphs are identical
-	// to the sequential output on well-formed traces. Batch parallel mode
-	// materialises the trace in memory; push-mode Sessions with
-	// Workers > 1 instead shard incrementally with per-component
-	// completion watermarks (see NewSession). PaperExactNoise always
-	// forces the sequential pass (the Fig. 5 predicate reads the global
-	// window buffer, which sharding would change) and is surfaced via
-	// Result.SequentialFallback. CLIs mapping a "0 = all CPUs" flag
-	// should resolve it with ResolveWorkers.
+	// Workers sizes the streaming engine's correlation pool. 0 or 1 keeps
+	// one worker goroutine — the sequential configuration, byte-identical
+	// to the original single-threaded pass on well-formed traces; larger
+	// values correlate independent flow components concurrently (see
+	// internal/flow for the shard key). Negative values are rejected.
+	// CLIs mapping a "0 = all CPUs" flag should resolve it with
+	// ResolveWorkers.
 	Workers int
 
-	// ShardBy selects the partition policy for Workers > 1; see ShardMode.
+	// ShardBy selects the partition policy of the streaming engine's flow
+	// components; see ShardMode.
 	ShardBy ShardMode
 
-	// BatchSize is the number of flow components handed to a worker per
-	// pipeline batch (Workers > 1 only). Defaults to 8. Smaller batches
-	// spread load; larger batches cut channel traffic.
+	// BatchSize is retained for configuration compatibility; the
+	// streaming engine dispatches components individually. Negative
+	// values are rejected.
 	BatchSize int
 
-	// SealAfter, when positive, turns the sharded push-mode Session
-	// (Workers > 1) into a continuous correlator: a flow component whose
-	// newest activity is more than SealAfter older than the newest
-	// timestamp pushed anywhere (activity time, never wall clock — replay
-	// stays deterministic) is sealed and correlated at the next Drain even
-	// though its hosts are still open, and the watermark emitter releases
-	// its CAGs. Each such seal is counted in Result.ForcedSeals. The
-	// dispatched component's flow bookkeeping is tombstoned at dispatch
-	// and pruned one further SealAfter later, so a forever-open Session's
-	// memory is bounded by the components active within ~2×SealAfter, not
-	// by every connection ever seen.
+	// SealAfter, when positive, turns the session into a continuous
+	// correlator: a flow component whose newest activity is more than
+	// SealAfter older than the newest timestamp pushed anywhere (activity
+	// time, never wall clock — replay stays deterministic) is sealed and
+	// correlated at the next Drain even though its hosts are still open,
+	// and the watermark emitter releases its CAGs. Each such seal is
+	// counted in Result.ForcedSeals. The dispatched component's flow
+	// bookkeeping is tombstoned at dispatch and pruned one further
+	// horizon later, so a forever-open Session's memory is bounded by the
+	// components active within ~2×SealAfter, not by every connection ever
+	// seen.
 	//
 	// The price is the no-guess guarantee: a forced seal asserts that no
 	// open stream will deliver an activity older than SealAfter behind the
@@ -113,11 +118,172 @@ type Options struct {
 	//
 	// 0 (the default) keeps sealing purely close-driven: output and
 	// behaviour are byte-identical to a Session without the option.
-	// NewSession rejects SealAfter > 0 when the session would run
-	// sequentially (Workers <= 1, or PaperExactNoise forcing the
-	// fallback) — dropping it silently would starve a forever-open
-	// deployment with no visible signal. Batch runs ignore it.
+	// PaperExactNoise rejects it (the global pass has no components to
+	// seal). Offline Correlate calls honour it too: the replay drains on
+	// a fixed cadence so a recorded trace reproduces the continuous
+	// deployment's seals, splits and counters deterministically.
 	SealAfter time.Duration
+
+	// SealAfterByHost overrides SealAfter per host: a chronically lagging
+	// agent can be given a longer sender-liveness bound without forcing
+	// the whole deployment to choose between latency and split CAGs. A
+	// component's effective horizon is the largest horizon of the hosts
+	// that can still extend it, so one lagging host extends only its own
+	// components' deadlines; components it cannot touch still seal on the
+	// shorter default. A host mapped here must have a positive horizon;
+	// hosts absent from the map use SealAfter (0 = close-driven only, and
+	// a component touching such a host never force-seals).
+	//
+	// The watermark honours the same per-host bounds: a quiet open host
+	// holds back emission by at most its own horizon. Pair long horizons
+	// with Session.Heartbeat so a healthy-but-idle host does not delay
+	// the ordered output stream.
+	SealAfterByHost map[string]time.Duration
+}
+
+// validate rejects option values that would silently misbehave. It is
+// called by New (surfaced from the Correlate methods, keeping the
+// chainable constructor) and by NewSession.
+func (o *Options) validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0 (got %d); use ResolveWorkers for CLI-style flags", o.Workers)
+	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("core: BatchSize must be >= 0 (got %d)", o.BatchSize)
+	}
+	if o.SealAfter < 0 {
+		return fmt.Errorf("core: SealAfter must be >= 0 (got %v)", o.SealAfter)
+	}
+	for h, d := range o.SealAfterByHost {
+		if h == "" {
+			return fmt.Errorf("core: SealAfterByHost contains an empty host name")
+		}
+		if d <= 0 {
+			return fmt.Errorf("core: SealAfterByHost[%q] must be > 0 (got %v); omit the host to keep the default", h, d)
+		}
+	}
+	return nil
+}
+
+// continuousConfigured reports whether any seal horizon is set — the
+// switch that enables forced seals, tombstoning and pruning.
+func (o *Options) continuousConfigured() bool {
+	return o.SealAfter > 0 || len(o.SealAfterByHost) > 0
+}
+
+// horizonFor returns host's effective seal horizon (0 = none: the host's
+// components seal only when every contributing host closes).
+func (o *Options) horizonFor(host string) time.Duration {
+	if d, ok := o.SealAfterByHost[host]; ok {
+		return d
+	}
+	return o.SealAfter
+}
+
+// maxHorizon returns the largest configured horizon, the conservative
+// prune lag for components whose own horizon is unbounded.
+func (o *Options) maxHorizon() time.Duration {
+	h := o.SealAfter
+	for _, d := range o.SealAfterByHost {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// ShardMode selects the partition policy of the streaming engine
+// (Options.ShardBy). Both policies shard by TCP flow key — the union-find
+// closure over channels and contexts computed by internal/flow — and both
+// produce graphs identical to the global sequential pass; they differ in
+// how the context relation is scoped, i.e. how fine the shards get.
+type ShardMode int
+
+const (
+	// ShardByFlow (default) breaks context chains at request-epoch
+	// boundaries: thread-pool reuse does not merge unrelated requests into
+	// one shard. Finest sharding, exact on well-formed traces.
+	ShardByFlow ShardMode = iota
+	// ShardByContext unions a context's whole lifetime — coarser shards
+	// that stay exact even when epoch boundaries are unrecoverable
+	// (heavily truncated or lossy traces).
+	ShardByContext
+)
+
+// String implements fmt.Stringer.
+func (m ShardMode) String() string { return m.flowMode().String() }
+
+func (m ShardMode) flowMode() flow.Mode {
+	if m == ShardByContext {
+		return flow.ModeContext
+	}
+	return flow.ModeFlow
+}
+
+// ResolveWorkers maps a CLI-style worker-count flag onto Options.Workers:
+// 0 means "all CPUs" (GOMAXPROCS), negatives mean sequential, positives
+// pass through. Options.Workers itself treats 0 as sequential so that the
+// zero value of Options keeps the original single-threaded behaviour;
+// this helper is the one place the friendlier flag convention lives.
+func ResolveWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 0 {
+		return 1
+	}
+	return n
+}
+
+// ParseSealAfterSpec parses a CLI -sealafter specification: either one
+// duration applying to every host ("50ms"), or a comma-separated list of
+// host=duration overrides with an optional bare duration as the default
+// ("50ms,db1=500ms"). Per-host horizons must be positive; the default
+// must be non-negative (0 = close-driven sealing only).
+func ParseSealAfterSpec(spec string) (time.Duration, map[string]time.Duration, error) {
+	var global time.Duration
+	var perHost map[string]time.Duration
+	seenGlobal := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		host, val, isHost := strings.Cut(part, "=")
+		if !isHost {
+			if seenGlobal {
+				return 0, nil, fmt.Errorf("sealafter: more than one default duration in %q", spec)
+			}
+			d, err := time.ParseDuration(part)
+			if err != nil {
+				return 0, nil, fmt.Errorf("sealafter: bad duration %q: %w", part, err)
+			}
+			if d < 0 {
+				return 0, nil, fmt.Errorf("sealafter: default duration must be >= 0 (got %v)", d)
+			}
+			global, seenGlobal = d, true
+			continue
+		}
+		host = strings.TrimSpace(host)
+		if host == "" {
+			return 0, nil, fmt.Errorf("sealafter: empty host in %q", part)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(val))
+		if err != nil {
+			return 0, nil, fmt.Errorf("sealafter: bad duration for host %s: %w", host, err)
+		}
+		if d <= 0 {
+			return 0, nil, fmt.Errorf("sealafter: horizon for host %s must be > 0 (got %v)", host, d)
+		}
+		if perHost == nil {
+			perHost = make(map[string]time.Duration)
+		}
+		if _, dup := perHost[host]; dup {
+			return 0, nil, fmt.Errorf("sealafter: host %s listed twice", host)
+		}
+		perHost[host] = d
+	}
+	return global, perHost, nil
 }
 
 // Result is the outcome of a correlation run.
@@ -139,27 +305,29 @@ type Result struct {
 
 	// PeakBufferedActivities and PeakResidentVertices drive the Fig. 11
 	// memory accounting: the ranker's buffer plus the engine's unfinished
-	// CAGs dominate the Correlator's footprint. In sharded runs these are
-	// the largest single shard's peaks.
+	// CAGs dominate the Correlator's footprint. In streaming-engine runs
+	// these are the largest single shard's peaks; the global
+	// PaperExactNoise pass reports its single window buffer.
 	PeakBufferedActivities int
 	PeakResidentVertices   int
 
-	// Shards is the number of flow components correlated by the sharded
-	// pipeline (batch or push-mode). 0 for a sequential run.
+	// Shards is the number of flow components correlated by the streaming
+	// engine. 0 only for the global PaperExactNoise pass (one undivided
+	// buffer).
 	Shards int
 
 	// SequentialFallback is non-empty when Workers > 1 was requested but
-	// the run degraded to the single-threaded pass anyway, naming the
+	// the run degraded to the single global pass anyway, naming the
 	// reason (currently only FallbackPaperExactNoise). Callers that care
 	// about throughput should surface it instead of silently accepting
 	// sequential speed.
 	SequentialFallback string
 
-	// ForcedSeals counts components sealed by the Options.SealAfter
+	// ForcedSeals counts components sealed by a SealAfter/SealAfterByHost
 	// activity-time horizon while their hosts were still open — each one
 	// an emission the close-driven rule alone would have held back, and a
 	// point where the no-guess guarantee was traded for liveness. Always
-	// 0 when SealAfter is 0.
+	// 0 when no horizon is configured.
 	ForcedSeals int
 
 	// LateLinks counts activities that genuinely linked to an already
@@ -175,20 +343,21 @@ type Result struct {
 }
 
 // FallbackPaperExactNoise is the Result.SequentialFallback reason set when
-// PaperExactNoise forces a Workers > 1 request onto the sequential pass:
-// the literal Fig. 5 is_noise predicate reads the global window buffer,
-// which shard-local buffers would change.
+// PaperExactNoise forces a Workers > 1 request onto the global pass: the
+// literal Fig. 5 is_noise predicate reads the global window buffer, which
+// shard-local buffers would change.
 const FallbackPaperExactNoise = "PaperExactNoise forces the sequential pass (the Fig. 5 predicate reads the global window buffer)"
 
-// EstimatedBytes approximates the Correlator's peak working-set size from
-// its two dominant populations. The per-item constants approximate the
-// in-memory size of an Activity record and a CAG vertex with bookkeeping.
+// EstimatedBytes approximates the correlator state's peak working-set size
+// from its two dominant populations. The per-item constants approximate
+// the in-memory size of an Activity record and a CAG vertex with
+// bookkeeping.
 //
-// The figure describes the sequential correlator's state (the Fig. 11
-// accounting). In parallel mode (Workers > 1) the underlying peaks are
-// per-shard maxima and the pipeline additionally keeps the whole
-// materialised trace plus all finished CAGs resident, so this estimate
-// is a large undercount of the process footprint there.
+// The figure describes one correlation pass's state (the Fig. 11
+// accounting): for streaming-engine runs the peaks are per-shard maxima,
+// and the engine additionally buffers every unsealed component's
+// activities, so this estimate undercounts the process footprint unless a
+// seal horizon keeps components short-lived.
 func (r *Result) EstimatedBytes() int64 {
 	const activityBytes = 192
 	const vertexBytes = 256
@@ -196,7 +365,8 @@ func (r *Result) EstimatedBytes() int64 {
 }
 
 // Unfinished returns the number of CAGs begun but never completed —
-// non-zero only under activity loss or truncated traces.
+// non-zero only under activity loss, truncated traces, or forced seals
+// splitting a request.
 func (r *Result) Unfinished() int {
 	return int(r.Engine.Begins - r.Engine.Finished)
 }
@@ -205,14 +375,18 @@ func (r *Result) Unfinished() int {
 // CorrelateSources runs an independent pipeline instance.
 type Correlator struct {
 	opts Options
+	err  error // deferred Options validation failure
 }
 
-// New returns a Correlator with the given options.
+// New returns a Correlator with the given options. Invalid options are
+// reported by the Correlate methods (the constructor stays chainable);
+// NewSession reports them directly.
 func New(opts Options) *Correlator {
+	err := opts.validate()
 	if opts.Window <= 0 {
 		opts.Window = 10 * time.Millisecond
 	}
-	return &Correlator{opts: opts}
+	return &Correlator{opts: opts, err: err}
 }
 
 // ErrNoEntryPorts reports a configuration that can never produce a CAG.
@@ -220,9 +394,21 @@ var ErrNoEntryPorts = errors.New("core: no entry ports configured; no request ca
 
 // CorrelateTrace classifies and correlates a merged multi-node trace. The
 // input slice is not modified; classification happens on shallow copies.
+//
+// The trace is replayed through the streaming engine in trace order
+// (push, close every host, drain) — with a seal horizon configured the
+// replay also drains on a fixed cadence, reproducing a continuous
+// deployment's forced seals deterministically. PaperExactNoise instead
+// runs the single global ranker+engine pass the Fig. 5 predicate needs.
 func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	if len(c.opts.EntryPorts) == 0 {
 		return nil, ErrNoEntryPorts
+	}
+	if !c.opts.PaperExactNoise {
+		return c.replayTrace(trace)
 	}
 	cls := activity.NewClassifier(c.opts.EntryPorts...)
 	classified := make([]*activity.Activity, len(trace))
@@ -230,9 +416,6 @@ func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error)
 		cp := *a
 		cp.Type = cls.Classify(a)
 		classified[i] = &cp
-	}
-	if c.useParallel() {
-		return c.correlateParallel(classified, len(classified))
 	}
 	byHost := ranker.SplitByHost(classified)
 	sources := make([]ranker.Source, 0, len(byHost))
@@ -245,25 +428,16 @@ func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error)
 // CorrelateSources runs the pipeline over pre-classified per-node sources.
 // totalHint sizes the result accounting; pass 0 when unknown.
 //
-// With Workers > 1 the sources are drained into memory first (flow
-// partitioning needs the whole trace), trading the sequential path's
-// bounded-window memory for shard throughput.
+// The sources are merged by timestamp and replayed through the streaming
+// engine, which buffers each flow component until it seals — configure a
+// seal horizon to bound that buffering on long inputs. PaperExactNoise
+// instead drives the single global pass directly over the given sources.
 func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*Result, error) {
-	if c.useParallel() {
-		var classified []*activity.Activity
-		for _, s := range sources {
-			for {
-				a := s.Pop()
-				if a == nil {
-					break
-				}
-				classified = append(classified, a)
-			}
-		}
-		if totalHint == 0 {
-			totalHint = len(classified)
-		}
-		return c.correlateParallel(classified, totalHint)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if !c.opts.PaperExactNoise {
+		return c.replaySources(sources, totalHint)
 	}
 	var engOpts []engine.Option
 	if c.opts.OnGraph != nil {
@@ -286,10 +460,11 @@ func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*
 	return res, nil
 }
 
-// fallbackReason names why a Workers > 1 request is running sequentially,
-// or "" when it is not degraded (satisfied, or never requested).
+// fallbackReason names why a Workers > 1 request is running on the single
+// global pass, or "" when it is not degraded (streamed, or never
+// requested).
 func (c *Correlator) fallbackReason() string {
-	if c.opts.Workers > 1 && !c.useParallel() {
+	if c.opts.Workers > 1 && c.opts.PaperExactNoise {
 		return FallbackPaperExactNoise
 	}
 	return ""
@@ -297,9 +472,9 @@ func (c *Correlator) fallbackReason() string {
 
 // drive runs the ranker+engine pair to exhaustion over per-node sources —
 // the paper's sequential correlator. It is the single definition of the
-// hot loop: CorrelateSources runs it over the whole trace, and every
-// shard of the concurrent pipeline runs it over one flow component, so
-// the two execution modes cannot drift apart.
+// hot loop: every sealed flow component of the streaming engine runs it
+// over the component's sources, and the PaperExactNoise mode runs it over
+// the whole trace, so the execution modes cannot drift apart.
 func (c *Correlator) drive(sources []ranker.Source, engOpts ...engine.Option) (*ranker.Ranker, *engine.Engine) {
 	eng := engine.New(engOpts...)
 	rk := ranker.New(ranker.Config{
@@ -323,11 +498,6 @@ func sortedKeys(m map[string][]*activity.Activity) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	// insertion sort: tiny n (node count)
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return keys
 }

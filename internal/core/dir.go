@@ -52,11 +52,12 @@ func (s *classifySource) Pop() *activity.Activity {
 
 // CorrelateDir streams one correlation pass over a directory of per-host
 // TCP_TRACE logs (<host>.trace or <host>.trace.gz, as written by
-// activity.WriteHostLogs / rubisgen -splitdir). Memory stays bounded by the
-// sliding window instead of the trace size. Use Options.OnGraph to also
-// bound the output side. With Options.Workers > 1 the logs are
-// materialised for flow partitioning (see CorrelateSources), trading the
-// bounded-memory property for shard throughput.
+// activity.WriteHostLogs / rubisgen -splitdir). The logs are decoded
+// lazily and replayed through the streaming engine (see CorrelateSources),
+// which buffers each flow component until it seals: configure a seal
+// horizon (Options.SealAfter / SealAfterByHost) to bound that buffering on
+// long inputs — with one, memory tracks recently-active components instead
+// of the trace size. Use Options.OnGraph to also bound the output side.
 //
 // If Options.IPToHost is nil the traced-node map is inferred with a cheap
 // first pass over the logs.

@@ -1,0 +1,123 @@
+package core
+
+// Golden-capture harness: dumps canonical fingerprints of the offline
+// and online correlation outputs so a refactor can prove byte-identity
+// against a pre-refactor checkout. Capture before the change, re-capture
+// after, diff the directories:
+//
+//	GOLDEN_DUMP=/tmp/golden go test -run TestGoldenDump ./internal/core
+//
+// (This is how the four-paths-to-one-pipeline refactor proved the replay
+// path reproduces the historical sequential correlator exactly.)
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/rubis"
+)
+
+func TestGoldenDump(t *testing.T) {
+	dir := os.Getenv("GOLDEN_DUMP")
+	if dir == "" {
+		t.Skip("GOLDEN_DUMP not set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		clients int
+		scale   float64
+		noise   int
+		skew    time.Duration
+	}{
+		{"clean", 120, 0.03, 0, 0},
+		{"noisy", 120, 0.03, 8, 0},
+		{"larger", 300, 0.05, 0, 0},
+		{"skewed", 80, 0.02, 4, 300 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		cfg := rubis.DefaultConfig(tc.clients)
+		cfg.Scale = tc.scale
+		cfg.NoiseSessions = tc.noise
+		if tc.skew > 0 {
+			cfg.Skew.MaxSkew = tc.skew
+		}
+		res, err := rubis.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Offline sequential CorrelateTrace.
+		out, err := New(Options{
+			Window:     10 * time.Millisecond,
+			EntryPorts: []int{rubis.EntryPort},
+			IPToHost:   res.IPToHost,
+		}).CorrelateTrace(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump(t, dir, tc.name+"-trace-w1", out)
+
+		// Offline CorrelateDir (sequential streaming).
+		td := t.TempDir()
+		if err := activity.WriteHostLogs(td, res.PerHost, true, false); err != nil {
+			t.Fatal(err)
+		}
+		dout, err := New(Options{
+			Window:     10 * time.Millisecond,
+			EntryPorts: []int{rubis.EntryPort},
+		}).CorrelateDir(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump(t, dir, tc.name+"-dir-w1", dout)
+
+		// Online sequential session, arrival-order replay.
+		sess, err := NewSession(Options{
+			Window:     10 * time.Millisecond,
+			EntryPorts: []int{rubis.EntryPort},
+			IPToHost:   res.IPToHost,
+		}, hostsOf(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range arrivalOrder(res.Trace) {
+			if err := sess.Push(a); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%256 == 0 {
+				sess.Drain()
+			}
+		}
+		dump(t, dir, tc.name+"-session-w1", sess.Close())
+
+		// PaperExactNoise sequential (the global-buffer path).
+		pout, err := New(Options{
+			Window:          10 * time.Millisecond,
+			EntryPorts:      []int{rubis.EntryPort},
+			IPToHost:        res.IPToHost,
+			PaperExactNoise: true,
+		}).CorrelateTrace(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump(t, dir, tc.name+"-paperexact-w1", pout)
+	}
+}
+
+func dump(t *testing.T, dir, name string, r *Result) {
+	t.Helper()
+	f, err := os.Create(dir + "/" + name + ".txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "graphs=%d activities=%d unfinished=%d\n", len(r.Graphs), r.Activities, r.Unfinished())
+	for i, g := range r.Graphs {
+		fmt.Fprintf(f, "--- %d ---\n%s\n", i, fingerprint(g))
+	}
+}

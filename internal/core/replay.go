@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/ranker"
+)
+
+// Offline correlation is a deterministic replay into the streaming
+// engine: push every activity, close every host, drain. That makes the
+// watermark-based session the single implementation of the pipeline —
+// the offline paths add no correlation logic of their own, so batch and
+// online results cannot drift apart (they ARE the same code).
+//
+// Determinism: the engine's output depends only on each host's record
+// order (components buffer per host; cross-host interleaving never
+// reaches the per-component rankers) plus, in continuous mode, on where
+// the drains fall. The replay preserves the input's per-host order and
+// drains on a fixed record cadence, so the same input always reproduces
+// the same output — including the forced seals, splits and late links a
+// continuous deployment would have produced.
+
+// replayDrainEvery is the fixed drain cadence of a continuous-mode
+// replay (records between drains). Close-driven replays drain only at
+// the end — mid-replay drains would be pure overhead, since nothing
+// seals before the hosts close.
+const replayDrainEvery = 1024
+
+// replayTrace correlates a merged, classified-on-the-fly trace by
+// replaying it through the streaming engine in trace order.
+func (c *Correlator) replayTrace(trace []*activity.Activity) (*Result, error) {
+	start := time.Now()
+	hostSet := make(map[string]struct{})
+	for _, a := range trace {
+		hostSet[a.Ctx.Host] = struct{}{}
+	}
+	if len(hostSet) == 0 {
+		return &Result{Activities: len(trace), CorrelationTime: time.Since(start)}, nil
+	}
+	hosts := make([]string, 0, len(hostSet))
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	s := newStreamSession(c.opts, hosts)
+	cls := s.cls
+	every := 0
+	if c.opts.continuousConfigured() {
+		every = replayDrainEvery
+	}
+	for i, a := range trace {
+		cp := *a
+		cp.Type = cls.Classify(a)
+		s.replayPush(&cp)
+		if every > 0 && (i+1)%every == 0 {
+			s.Drain()
+		}
+	}
+	return c.finishReplay(s, len(trace), start), nil
+}
+
+// replaySources correlates pre-classified per-node sources by merging
+// them in timestamp order (ties broken by source position — sources are
+// conventionally passed in sorted host order) and replaying the merged
+// stream through the streaming engine.
+func (c *Correlator) replaySources(sources []ranker.Source, totalHint int) (*Result, error) {
+	start := time.Now()
+	hosts := make([]string, 0, len(sources))
+	seen := make(map[string]struct{}, len(sources))
+	for _, src := range sources {
+		if _, dup := seen[src.Host()]; !dup {
+			seen[src.Host()] = struct{}{}
+			hosts = append(hosts, src.Host())
+		}
+	}
+	if len(hosts) == 0 {
+		return &Result{Activities: totalHint, CorrelationTime: time.Since(start)}, nil
+	}
+
+	s := newStreamSession(c.opts, hosts)
+	every := 0
+	if c.opts.continuousConfigured() {
+		every = replayDrainEvery
+	}
+	pushed := 0
+	for {
+		pick := -1
+		var best time.Duration
+		for i, src := range sources {
+			a := src.Peek()
+			if a == nil {
+				continue
+			}
+			if pick < 0 || a.Timestamp < best {
+				pick, best = i, a.Timestamp
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		// Sources hand over ownership (the historical pass fed them to the
+		// ranker directly), and their records are pre-classified — no copy.
+		s.replayPush(sources[pick].Pop())
+		pushed++
+		if every > 0 && pushed%every == 0 {
+			s.Drain()
+		}
+	}
+	if totalHint == 0 {
+		totalHint = pushed
+	}
+	return c.finishReplay(s, totalHint, start), nil
+}
+
+// finishReplay ends every stream (Close seals and drains the remainder)
+// and normalises the Result's replay-wide accounting (the engine's own
+// CorrelationTime only covers time blocked on shard work; a batch caller
+// cares about the whole pass, partition included — the quantity
+// Fig. 9/10/14 plot).
+func (c *Correlator) finishReplay(s *streamSession, total int, start time.Time) *Result {
+	res := s.Close()
+	res.Activities = total
+	res.CorrelationTime = time.Since(start)
+	res.SequentialFallback = c.fallbackReason()
+	return res
+}

@@ -12,42 +12,46 @@ import (
 
 // Session is the online (push-mode) correlator: activities are pushed as
 // the collection agents deliver them, CAGs come out while the service is
-// still running. The offline CorrelateTrace is a Session fed all at once.
+// still running. The offline CorrelateTrace is literally a Session fed
+// all at once (see replay.go).
 //
 //	s, _ := core.NewSession(opts, []string{"web1", "app1", "db1"})
 //	s.Push(a)        // repeatedly, per arriving record
 //	s.Drain()        // emit every CAG currently decidable
 //	s.Close()        // end of streams; flush the remainder
 //
-// Safety: the session never *guesses* — a candidate is only chosen when no
-// open stream could still deliver an activity that changes the decision.
-// That is the same no-false-positives guarantee as offline mode; the cost
-// is that CAG emission lags input by up to the in-flight depth of the
-// slowest node's stream.
+// Safety: the session never *guesses* — a flow component is only
+// correlated once no open stream could still extend it: every host owning
+// one of its channel endpoints has closed (CloseHost), or — with a seal
+// horizon configured — has advanced its stream past the component's
+// horizon. That is the same no-false-positives guarantee as offline mode;
+// the cost is that CAG emission lags input by the slower of host closure
+// and the configured horizons. Always-on deployments therefore configure
+// Options.SealAfter (plus per-host overrides in Options.SealAfterByHost
+// for chronically lagging agents) and feed Heartbeat so idle hosts do not
+// stall the ordered output.
 //
-// With Options.Workers > 1 the session runs the sharded push-mode
-// pipeline (see session_parallel.go): activities are assigned to flow
-// components as they arrive, sealed components are correlated by a worker
-// pool running the unmodified ranker+engine, and a watermark-based
-// emitter releases finished CAGs in deterministic END-timestamp order —
-// byte-identical to this sequential session's output for the same push
-// order. Workers <= 1 (or PaperExactNoise, which needs the global window
-// buffer) keeps the original single-threaded path; a forced fallback is
-// surfaced in Result.SequentialFallback.
+// Every worker count runs the same streaming engine (stream.go);
+// Options.Workers only sizes its correlation pool. The one exception is
+// PaperExactNoise, whose Fig. 5 predicate needs one undivided window
+// buffer: those sessions buffer per host and run the single global pass
+// at Close (a Workers > 1 request is surfaced in
+// Result.SequentialFallback).
 //
-// Sessions are not safe for concurrent use: Push/Drain/CloseHost/Close
-// must be called from one goroutine (the sharded mode parallelises
-// internally).
+// Sessions are not safe for concurrent use: Push/Drain/CloseHost/
+// Heartbeat/Close must be called from one goroutine (the engine
+// parallelises internally).
 type Session struct {
 	impl sessionImpl
 }
 
 // sessionImpl is the contract both execution modes satisfy; Session is a
-// thin façade so NewSession can pick the mode from Options.Workers.
+// thin façade so NewSession can pick the mode from Options.
 type sessionImpl interface {
 	Push(a *activity.Activity) error
 	Drain() int
 	CloseHost(host string) error
+	Heartbeat(host string, ts time.Duration) error
 	Close() *Result
 	Graphs() []*cag.Graph
 	Pending() int
@@ -55,9 +59,12 @@ type sessionImpl interface {
 
 // NewSession opens an online session for the given traced hosts. Every
 // host that will produce activities must be declared up front (the
-// ranker's safety logic needs to know which streams exist, and the
-// sharded mode's completion watermarks track per-host progress).
+// completion watermarks track per-host progress, and the safety logic
+// needs to know which streams exist).
 func NewSession(opts Options, hosts []string) (*Session, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if len(opts.EntryPorts) == 0 {
 		return nil, ErrNoEntryPorts
 	}
@@ -67,24 +74,21 @@ func NewSession(opts Options, hosts []string) (*Session, error) {
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("core: session needs at least one host")
 	}
-	if opts.Workers > 1 && !opts.PaperExactNoise {
-		return &Session{impl: newParSession(opts, hosts)}, nil
-	}
-	if opts.SealAfter > 0 {
-		// Continuous mode only exists in the sharded session. Silently
-		// dropping it would be the worst failure mode: a forever-open
-		// deployment would never emit and never learn why (the fallback
-		// reason only surfaces in Close's Result).
-		if opts.PaperExactNoise {
-			return nil, fmt.Errorf("core: SealAfter needs the sharded session, but %s", FallbackPaperExactNoise)
+	if opts.PaperExactNoise {
+		if opts.continuousConfigured() {
+			// Silently dropping the horizons would be the worst failure
+			// mode: a forever-open deployment would never emit and never
+			// learn why (the fallback reason only surfaces in Close's
+			// Result).
+			return nil, fmt.Errorf("core: SealAfter horizons need the streaming engine, but %s", FallbackPaperExactNoise)
 		}
-		return nil, fmt.Errorf("core: SealAfter needs Workers > 1 (the sequential session seals on CloseHost only)")
+		g := newGlobalSession(opts, hosts)
+		if opts.Workers > 1 {
+			g.fallback = FallbackPaperExactNoise
+		}
+		return &Session{impl: g}, nil
 	}
-	seq := newSeqSession(opts, hosts)
-	if opts.Workers > 1 {
-		seq.fallback = FallbackPaperExactNoise
-	}
-	return &Session{impl: seq}, nil
+	return &Session{impl: newStreamSession(opts, hosts)}, nil
 }
 
 // Push feeds one raw TCP_TRACE record (classification happens inside).
@@ -93,16 +97,32 @@ func NewSession(opts Options, hosts []string) (*Session, error) {
 func (s *Session) Push(a *activity.Activity) error { return s.impl.Push(a) }
 
 // Drain runs the correlator until no further candidate is safely
-// decidable, returning the number of activities processed this call. In
-// sharded mode it additionally waits for every dispatched component to
-// finish correlating and releases the graphs the watermark permits.
+// decidable, returning the number of activities processed this call: it
+// force-seals components idle past their horizon (continuous mode), waits
+// for every dispatched component to finish correlating, and releases the
+// graphs the watermark permits.
 func (s *Session) Drain() int { return s.impl.Drain() }
 
-// CloseHost marks one host's stream complete (its agent shut down). In
-// sharded mode this is what seals components: a flow component whose
-// every contributing host has closed can no longer grow and is handed to
-// the worker pool.
+// CloseHost marks one host's stream complete (its agent shut down). This
+// is what seals components absent a horizon: a flow component whose every
+// contributing host has closed can no longer grow and is handed to the
+// worker pool.
 func (s *Session) CloseHost(host string) error { return s.impl.CloseHost(host) }
+
+// Heartbeat records a liveness assertion from one host's agent: the host
+// is alive and will never deliver an activity with a timestamp older
+// than ts. It advances the watermark past quiet-but-healthy streams —
+// without it, an idle host with no horizon holds back every emission,
+// and an idle host with a long horizon delays them by that horizon. A
+// heartbeat also advances the activity clock that seal horizons measure
+// against, so correlation keeps flowing through traffic lulls. Stale
+// assertions (ts older than the host's newest record) are ignored.
+//
+// Like pushed timestamps, heartbeats are activity-time, never wall
+// clock: replaying the same push/heartbeat/drain sequence reproduces the
+// same output. PaperExactNoise sessions accept and ignore heartbeats
+// (the global pass has no watermark).
+func (s *Session) Heartbeat(host string, ts time.Duration) error { return s.impl.Heartbeat(host, ts) }
 
 // Close marks every stream complete, drains the remainder and returns the
 // final result. Closing twice returns the same result.
@@ -112,131 +132,141 @@ func (s *Session) Close() *Result { return s.impl.Close() }
 // OnGraph).
 func (s *Session) Graphs() []*cag.Graph { return s.impl.Graphs() }
 
-// Pending returns the number of activities buffered but not yet decidable
-// (in sharded mode: pushed but not yet correlated by a finished shard).
+// Pending returns the number of activities buffered but not yet
+// correlated by a finished shard.
 func (s *Session) Pending() int { return s.impl.Pending() }
 
-// seqSession is the original single-threaded push-mode correlator.
-type seqSession struct {
+// globalSession is the PaperExactNoise session: the Fig. 5 is_noise
+// predicate reads the global window buffer, so the stream cannot be
+// sharded into components. Records buffer per host and the single global
+// ranker+engine pass (Correlator.drive — the same primitive every sealed
+// component runs) correlates everything at Close. Mid-stream Drain is a
+// no-op: with one undivided buffer nothing is decidable until every
+// stream has ended. Ablation-only; production sessions use the streaming
+// engine.
+type globalSession struct {
 	opts     Options
+	drv      *Correlator
 	cls      *activity.Classifier
-	eng      *engine.Engine
-	rk       *ranker.Ranker
-	sources  map[string]*ranker.PushSource
-	closed   bool
-	fallback string
-	final    *Result
-
-	graphs   []*cag.Graph
-	rankTime time.Duration
+	order    []string // declared host order: the ranker's tie-break order
+	open     map[string]bool
+	last     map[string]time.Duration
+	perHost  map[string][]*activity.Activity
 	pushed   int
+	fallback string
+	closed   bool
+	final    *Result
 }
 
-func newSeqSession(opts Options, hosts []string) *seqSession {
-	s := &seqSession{
+func newGlobalSession(opts Options, hosts []string) *globalSession {
+	drvOpts := opts
+	drvOpts.OnGraph = nil
+	g := &globalSession{
 		opts:    opts,
+		drv:     New(drvOpts),
 		cls:     activity.NewClassifier(opts.EntryPorts...),
-		sources: make(map[string]*ranker.PushSource, len(hosts)),
+		open:    make(map[string]bool, len(hosts)),
+		last:    make(map[string]time.Duration, len(hosts)),
+		perHost: make(map[string][]*activity.Activity, len(hosts)),
 	}
-	var engOpts []engine.Option
-	if opts.OnGraph != nil {
-		engOpts = append(engOpts, engine.WithOutputFunc(opts.OnGraph))
-	}
-	s.eng = engine.New(engOpts...)
-	srcs := make([]ranker.Source, 0, len(hosts))
 	for _, h := range hosts {
-		ps := ranker.NewPushSource(h)
-		s.sources[h] = ps
-		srcs = append(srcs, ps)
+		if !g.open[h] {
+			g.order = append(g.order, h)
+			g.open[h] = true
+		}
 	}
-	s.rk = ranker.New(ranker.Config{
-		Window:          s.opts.Window,
-		IPToHost:        s.opts.IPToHost,
-		Filter:          s.opts.Filter,
-		PaperExactNoise: s.opts.PaperExactNoise,
-	}, s.eng, srcs)
-	return s
+	return g
 }
 
 // Push implements sessionImpl.
-func (s *seqSession) Push(a *activity.Activity) error {
-	if s.closed {
+func (g *globalSession) Push(a *activity.Activity) error {
+	if g.closed {
 		return fmt.Errorf("core: push on closed session")
 	}
-	src, ok := s.sources[a.Ctx.Host]
+	open, ok := g.open[a.Ctx.Host]
 	if !ok {
 		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", a.Ctx.Host)
 	}
-	cp := *a
-	cp.Type = s.cls.Classify(a)
-	if err := src.Push(&cp); err != nil {
-		return err
+	if !open {
+		return fmt.Errorf("core: push on closed source %s", a.Ctx.Host)
 	}
-	s.pushed++
+	if prev, any := g.last[a.Ctx.Host]; any && a.Timestamp < prev {
+		return fmt.Errorf("core: %s timestamp regressed (%v after %v)", a.Ctx.Host, a.Timestamp, prev)
+	}
+	cp := *a
+	cp.Type = g.cls.Classify(a)
+	g.perHost[cp.Ctx.Host] = append(g.perHost[cp.Ctx.Host], &cp)
+	g.last[cp.Ctx.Host] = cp.Timestamp
+	g.pushed++
 	return nil
 }
 
-// Drain implements sessionImpl.
-func (s *seqSession) Drain() int {
-	start := time.Now()
-	n := 0
-	for {
-		// TryRank's done flag distinguishes "all sources drained" (nil,
-		// true) from "blocked until an open stream delivers more" (nil,
-		// false). Drain stops on a nil candidate either way: nil is a
-		// fixed point — repeated TryRank calls cannot make progress until
-		// Push or CloseHost changes the input state, and both happen
-		// outside Drain. Callers that need the distinction (wait for more
-		// input vs. finished) read it from Pending() and their own stream
-		// accounting, so the flag is deliberately dropped here.
-		a, _ := s.rk.TryRank()
-		if a == nil {
-			break
-		}
-		if g := s.eng.Handle(a); g != nil && s.opts.OnGraph == nil {
-			s.graphs = append(s.graphs, g)
-		}
-		n++
-	}
-	s.rankTime += time.Since(start)
-	return n
-}
+// Drain implements sessionImpl: nothing is decidable before Close.
+func (g *globalSession) Drain() int { return 0 }
 
 // CloseHost implements sessionImpl.
-func (s *seqSession) CloseHost(host string) error {
-	src, ok := s.sources[host]
-	if !ok {
+func (g *globalSession) CloseHost(host string) error {
+	if _, ok := g.open[host]; !ok {
 		return fmt.Errorf("core: unknown host %q", host)
 	}
-	src.Close()
+	g.open[host] = false
 	return nil
 }
 
-// Close implements sessionImpl.
-func (s *seqSession) Close() *Result {
-	if s.closed {
-		return s.final
+// Heartbeat implements sessionImpl: accepted for interface symmetry,
+// ignored (the global pass has no watermark to advance).
+func (g *globalSession) Heartbeat(host string, ts time.Duration) error {
+	if g.closed {
+		return fmt.Errorf("core: heartbeat on closed session")
 	}
-	for _, src := range s.sources {
-		src.Close()
+	if _, ok := g.open[host]; !ok {
+		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", host)
 	}
-	s.Drain()
-	s.closed = true
-	s.final = &Result{
-		Graphs:                 s.graphs,
-		CorrelationTime:        s.rankTime,
-		Activities:             s.pushed,
-		Ranker:                 s.rk.Stats(),
-		Engine:                 s.eng.Stats(),
-		PeakBufferedActivities: s.rk.Stats().PeakBuffered,
-		PeakResidentVertices:   s.eng.PeakResidentVertices(),
-		SequentialFallback:     s.fallback,
+	return nil
+}
+
+// Close implements sessionImpl: run the global pass over everything.
+func (g *globalSession) Close() *Result {
+	if g.closed {
+		return g.final
 	}
-	return s.final
+	g.closed = true
+	sources := make([]ranker.Source, 0, len(g.order))
+	for _, h := range g.order {
+		sources = append(sources, ranker.NewSliceSource(h, g.perHost[h]))
+	}
+	var engOpts []engine.Option
+	if g.opts.OnGraph != nil {
+		engOpts = append(engOpts, engine.WithOutputFunc(g.opts.OnGraph))
+	}
+	start := time.Now()
+	rk, eng := g.drv.drive(sources, engOpts...)
+	g.final = &Result{
+		Graphs:                 eng.Outputs(),
+		CorrelationTime:        time.Since(start),
+		Activities:             g.pushed,
+		Ranker:                 rk.Stats(),
+		Engine:                 eng.Stats(),
+		PeakBufferedActivities: rk.Stats().PeakBuffered,
+		PeakResidentVertices:   eng.PeakResidentVertices(),
+		SequentialFallback:     g.fallback,
+	}
+	return g.final
 }
 
 // Graphs implements sessionImpl.
-func (s *seqSession) Graphs() []*cag.Graph { return s.graphs }
+func (g *globalSession) Graphs() []*cag.Graph {
+	if g.final == nil {
+		return nil
+	}
+	return g.final.Graphs
+}
 
-// Pending implements sessionImpl.
-func (s *seqSession) Pending() int { return s.rk.Buffered() }
+// Pending implements sessionImpl: everything buffered is pending until
+// Close decides it.
+func (g *globalSession) Pending() int {
+	if g.closed {
+		return 0
+	}
+	return g.pushed
+}

@@ -51,7 +51,7 @@ func TestSessionForeverOpenContinuousEmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps := sess.impl.(*parSession)
+	ps := sess.impl.(*streamSession)
 
 	firstEmit := -1
 	peakDirs, peakEpochs := 0, 0
@@ -184,24 +184,42 @@ func TestSessionSealAfterZeroUnchanged(t *testing.T) {
 	}
 }
 
-// TestSessionSealAfterNeedsShardedSession: silently dropping SealAfter
-// on a sequential path would starve a forever-open deployment with no
-// signal, so NewSession must reject it up front — both for Workers <= 1
-// and for the PaperExactNoise forced fallback.
-func TestSessionSealAfterNeedsShardedSession(t *testing.T) {
-	seq := foreverOpts(1, 30*time.Millisecond)
-	if _, err := NewSession(seq, []string{"web1"}); err == nil {
-		t.Fatal("SealAfter with Workers=1 not rejected")
+// TestSessionSealAfterAtEveryPoolSize: the streaming engine supports
+// seal horizons at any Workers value — Workers=1 is just the sequential
+// configuration of the same engine, so a single-threaded forever-open
+// deployment emits continuously too. Only PaperExactNoise rejects
+// horizons (its global window buffer has no components to seal), and the
+// rejection must be specifically about the horizon.
+func TestSessionSealAfterAtEveryPoolSize(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		sess, err := NewSession(foreverOpts(workers, 30*time.Millisecond), []string{"web1", "web2"})
+		if err != nil {
+			t.Fatalf("workers=%d: SealAfter rejected: %v", workers, err)
+		}
+		for k := 0; k < 30; k++ {
+			pushRequest(t, sess, k, time.Duration(k)*10*time.Millisecond)
+			sess.Drain()
+		}
+		if len(sess.Graphs()) == 0 {
+			t.Fatalf("workers=%d: forever-open session emitted nothing before Close", workers)
+		}
+		out := sess.Close()
+		if len(out.Graphs) != 30 {
+			t.Fatalf("workers=%d: final graphs = %d, want 30", workers, len(out.Graphs))
+		}
+		if out.ForcedSeals == 0 {
+			t.Fatalf("workers=%d: no forced seals", workers)
+		}
 	}
 	exact := foreverOpts(4, 30*time.Millisecond)
 	exact.PaperExactNoise = true
 	if _, err := NewSession(exact, []string{"web1"}); err == nil {
-		t.Fatal("SealAfter with the PaperExactNoise fallback not rejected")
+		t.Fatal("SealAfter with PaperExactNoise not rejected")
 	}
-	// Sanity: each rejection is specifically about SealAfter.
+	// Sanity: the rejection is specifically about SealAfter.
 	exact.SealAfter = 0
 	if _, err := NewSession(exact, []string{"web1"}); err != nil {
-		t.Fatalf("PaperExactNoise fallback without SealAfter rejected: %v", err)
+		t.Fatalf("PaperExactNoise without SealAfter rejected: %v", err)
 	}
 }
 

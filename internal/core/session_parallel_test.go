@@ -387,8 +387,8 @@ func TestSessionParallelFallbackSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := sess.impl.(*seqSession); !ok {
-		t.Fatal("PaperExactNoise session did not fall back to sequential")
+	if _, ok := sess.impl.(*globalSession); !ok {
+		t.Fatal("PaperExactNoise session did not fall back to the global pass")
 	}
 	if got := sess.Close().SequentialFallback; got != FallbackPaperExactNoise {
 		t.Fatalf("session fallback = %q", got)

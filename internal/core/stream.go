@@ -14,16 +14,23 @@ import (
 	"repro/internal/ranker"
 )
 
-// parSession is the sharded push-mode correlator (Options.Workers > 1).
+// streamSession is the one streaming correlation engine. Every execution
+// mode is a configuration of it: the online Session pushes live records
+// into it, the offline Correlate calls replay a recorded input through it
+// (replay.go), Workers sizes its correlation pool (1 = the sequential
+// configuration), and seal horizons (global or per host) turn it
+// continuous. Only the PaperExactNoise ablation bypasses it, because the
+// Fig. 5 predicate needs one undivided window buffer (globalSession).
 //
 // Pipeline:
 //
 //	Push ──> incremental flow partition (internal/flow.Incremental):
 //	         every activity joins a component as it arrives; components
 //	         fuse when a TCP connection or context epoch links them.
-//	CloseHost ──> completion watermarks: a component whose every
-//	         contributing host has closed can never grow again — it is
-//	         sealed and handed to the worker pool.
+//	CloseHost / seal horizon ──> sealing: a component seals when no open
+//	         host can extend it (the completion watermark), or — with a
+//	         horizon configured — when it has idled past the largest
+//	         horizon of the hosts that could still extend it.
 //	workers ──> each sealed component runs the unmodified sequential
 //	         ranker+engine pass (Correlator.drive), no shared state.
 //	Drain/Close ──> the watermark emitter releases finished CAGs in
@@ -31,30 +38,35 @@ import (
 //	         that a still-open stream or still-pending component could
 //	         yet precede.
 //
-// The result is byte-identical to the sequential Session for the same
-// push order on well-formed traces (TestParallelSessionEquivalence): the
+// The result is byte-identical to the historical sequential correlator
+// for the same per-host input order on well-formed traces
+// (TestParallelSessionEquivalence, TestParallelEquivalence): the
 // per-component passes are exact because components are closed under the
 // engine's two lookup relations, and the emitter's order is the
 // sequential completion order.
 //
-// With Options.SealAfter > 0 the session additionally runs continuously:
-// Drain force-seals components idle for longer than the horizon (against
-// the activity clock, never wall time), the watermark treats quiet open
-// streams as bounded by that same horizon, and dispatched components'
-// flow bookkeeping is tombstoned then pruned — memory stays bounded by
-// recently-active components even if CloseHost is never called. See
-// Options.SealAfter for the no-guess tradeoff this accepts.
+// With a seal horizon the session additionally runs continuously: Drain
+// force-seals components idle past their horizon (against the activity
+// clock, never wall time), the watermark treats quiet open streams as
+// bounded by their own host horizons, and dispatched components' flow
+// bookkeeping is tombstoned then pruned — memory stays bounded by
+// recently-active components even if CloseHost is never called.
+// Per-host horizons (Options.SealAfterByHost) let one chronically
+// lagging agent extend only its own components' deadlines; Heartbeat
+// lets an idle-but-healthy agent advance the watermark without traffic.
+// See Options.SealAfter for the no-guess tradeoff this accepts.
 //
 // Contributor tracking relies on Options.IPToHost covering every declared
 // host's addresses (the same map the ranker's noise reasoning needs): an
 // activity can only extend a component from a host owning one of the
 // component's channel endpoints. Unresolvable endpoints are treated as
-// untraced, exactly like the sequential ranker treats them.
-type parSession struct {
-	opts Options
-	drv  *Correlator // sequential driver for sealed components
-	cls  *activity.Classifier
-	inc  *flow.Incremental
+// untraced, exactly like the ranker treats them.
+type streamSession struct {
+	opts    Options
+	workers int         // normalized pool size (>= 1)
+	drv     *Correlator // sequential driver for sealed components
+	cls     *activity.Classifier
+	inc     *flow.Incremental
 
 	hosts map[string]*sessHost
 
@@ -76,16 +88,16 @@ type parSession struct {
 	pendingActs int
 	uncounted   int // shard deliveries not yet reported by Drain
 
-	// Continuous-mode state (Options.SealAfter > 0). maxTs is the newest
-	// timestamp pushed on any stream — the activity clock every horizon
-	// is measured against. pruneQ holds dispatched components whose flow
-	// bookkeeping is tombstoned but not yet pruned: entries are freed one
-	// further SealAfter after dispatch, so stragglers inside the liveness
-	// bound are still detected as late links instead of silently starting
-	// fresh components.
+	// Continuous-mode state (any seal horizon configured). maxTs is the
+	// newest timestamp pushed or heartbeated on any stream — the activity
+	// clock every horizon is measured against. maxHorizon is the largest
+	// configured horizon: the prune lag for components whose own horizon
+	// is unbounded, wide enough for any straggler the liveness bounds
+	// admit.
+	continuous  bool
 	maxTs       time.Duration
+	maxHorizon  time.Duration
 	forcedSeals int
-	pruneQ      []pendingPrune
 
 	rstats   ranker.Stats
 	estats   engine.Stats
@@ -94,7 +106,7 @@ type parSession struct {
 	// workTime is the wall-clock time this session spent correlating —
 	// the time blocked in settle/pump/emit, which is the shard work's
 	// critical path, not the sum of concurrent shard times. It matches
-	// the sequential session's drain-time accounting.
+	// the historical sequential session's drain-time accounting.
 	workTime time.Duration
 
 	closed bool
@@ -103,15 +115,16 @@ type parSession struct {
 
 // sessHost is one declared host's stream state.
 type sessHost struct {
-	open bool
-	any  bool // has pushed at least one activity
-	last time.Duration
-	seq  uint64
+	open    bool
+	any     bool // has pushed or heartbeated at least once
+	last    time.Duration
+	seq     uint64
+	horizon time.Duration // effective seal horizon; 0 = close-driven only
 }
 
 // pushRec pairs an activity with its per-host push sequence number, so
 // component fusion can interleave equal-timestamp records in push order —
-// the order the sequential PushSource preserves.
+// the order the per-host input streams preserve.
 type pushRec struct {
 	a   *activity.Activity
 	seq uint64
@@ -129,13 +142,6 @@ type sessComponent struct {
 	root    int32 // current union-find root
 }
 
-// pendingPrune is one dispatched component awaiting its flow-bookkeeping
-// prune, keyed by the activity clock at dispatch time.
-type pendingPrune struct {
-	root int32
-	at   time.Duration // s.maxTs when the component was absorbed
-}
-
 // sessShardResult is one sealed component's correlation output.
 type sessShardResult struct {
 	comp         *sessComponent
@@ -145,38 +151,81 @@ type sessShardResult struct {
 	peakResident int
 }
 
-func newParSession(opts Options, hosts []string) *parSession {
+// taggedGraph is one finished CAG tagged with its deterministic
+// provenance (component ordering key, emission position within the
+// shard) for the watermark emitter.
+type taggedGraph struct {
+	g    *cag.Graph
+	comp int
+	pos  int
+}
+
+// sortTagged restores the sequential emission order: global
+// END-timestamp order. Ties reproduce the sequential ranker's behaviour
+// too: equal-timestamp ENDs on different hosts are delivered in sorted
+// host order (Rule 2 keeps the first queue on a tie; queues are built in
+// sorted host order), and within one host in log order, which record IDs
+// preserve (every trace producer assigns IDs in per-host log order).
+// Component/position order is the final fallback for ID-less hand-built
+// traces.
+func sortTagged(tagged []taggedGraph) {
+	sort.Slice(tagged, func(i, j int) bool {
+		ei, ej := tagged[i].g.End(), tagged[j].g.End()
+		if ei.Timestamp != ej.Timestamp {
+			return ei.Timestamp < ej.Timestamp
+		}
+		if ei.Ctx.Host != ej.Ctx.Host {
+			return ei.Ctx.Host < ej.Ctx.Host
+		}
+		if a, b := ei.Records[0].ID, ej.Records[0].ID; a != b {
+			return a < b
+		}
+		if tagged[i].comp != tagged[j].comp {
+			return tagged[i].comp < tagged[j].comp
+		}
+		return tagged[i].pos < tagged[j].pos
+	})
+}
+
+func newStreamSession(opts Options, hosts []string) *streamSession {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	drvOpts := opts
 	drvOpts.Workers = 0
 	drvOpts.OnGraph = nil
-	s := &parSession{
-		opts:    opts,
-		drv:     New(drvOpts),
-		cls:     activity.NewClassifier(opts.EntryPorts...),
-		hosts:   make(map[string]*sessHost, len(hosts)),
-		comps:   make(map[int32]*sessComponent),
-		jobs:    make(chan *sessComponent, 2*opts.Workers),
-		results: make(chan sessShardResult, 2*opts.Workers),
+	s := &streamSession{
+		opts:       opts,
+		workers:    workers,
+		drv:        New(drvOpts),
+		cls:        activity.NewClassifier(opts.EntryPorts...),
+		hosts:      make(map[string]*sessHost, len(hosts)),
+		comps:      make(map[int32]*sessComponent),
+		jobs:       make(chan *sessComponent, 2*workers),
+		results:    make(chan sessShardResult, 2*workers),
+		continuous: opts.continuousConfigured(),
+		maxHorizon: opts.maxHorizon(),
 	}
 	s.inc = flow.NewIncremental(opts.ShardBy.flowMode(), s.mergeComponents)
-	if opts.SealAfter > 0 {
+	if s.continuous {
 		// Continuous mode retires dispatched components; the close-driven
 		// mode never prunes and skips the reverse-index tracking cost.
 		s.inc.EnablePruning()
 	}
 	for _, h := range hosts {
 		if s.hosts[h] == nil {
-			s.hosts[h] = &sessHost{open: true}
+			s.hosts[h] = &sessHost{open: true, horizon: opts.horizonFor(h)}
 		}
 	}
-	s.wg.Add(opts.Workers)
-	for w := 0; w < opts.Workers; w++ {
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go s.worker()
 	}
 	return s
 }
 
-func (s *parSession) worker() {
+func (s *streamSession) worker() {
 	defer s.wg.Done()
 	for c := range s.jobs {
 		s.results <- s.correlateComponent(c)
@@ -184,9 +233,9 @@ func (s *parSession) worker() {
 }
 
 // correlateComponent runs the unmodified sequential pass over one sealed
-// component. Sources are built in sorted host order — the order every
-// other execution mode uses, which the deterministic tie-breaks rely on.
-func (s *parSession) correlateComponent(c *sessComponent) sessShardResult {
+// component. Sources are built in sorted host order — the order the
+// global pass uses, which the deterministic tie-breaks rely on.
+func (s *streamSession) correlateComponent(c *sessComponent) sessShardResult {
 	hosts := make([]string, 0, len(c.perHost))
 	for h := range c.perHost {
 		hosts = append(hosts, h)
@@ -211,9 +260,9 @@ func (s *parSession) correlateComponent(c *sessComponent) sessShardResult {
 	}
 }
 
-// Push implements sessionImpl: classify, assign to a flow component,
-// buffer in per-host push order.
-func (s *parSession) Push(a *activity.Activity) error {
+// Push implements sessionImpl: validate the stream contract, classify,
+// and ingest.
+func (s *streamSession) Push(a *activity.Activity) error {
 	if s.closed {
 		return fmt.Errorf("core: push on closed session")
 	}
@@ -229,7 +278,30 @@ func (s *parSession) Push(a *activity.Activity) error {
 	}
 	cp := *a
 	cp.Type = s.cls.Classify(a)
-	root := s.inc.Add(&cp)
+	s.ingest(&cp, h)
+	return nil
+}
+
+// replayPush is the offline replay's ingest path: the record is already
+// copied/owned and classified, and the replay — which controls every
+// stream — skips the online contract checks (the historical sequential
+// pass accepted per-host disorder too, producing whatever the ranker
+// makes of it).
+func (s *streamSession) replayPush(cp *activity.Activity) {
+	h := s.hosts[cp.Ctx.Host]
+	if h == nil {
+		// A source whose records carry an undeclared host name: declare it
+		// on the fly; the replay closes every host before draining.
+		h = &sessHost{open: true, horizon: s.opts.horizonFor(cp.Ctx.Host)}
+		s.hosts[cp.Ctx.Host] = h
+	}
+	s.ingest(cp, h)
+}
+
+// ingest assigns one classified activity to its flow component and
+// buffers it in per-host push order. The caller owns cp.
+func (s *streamSession) ingest(cp *activity.Activity, h *sessHost) {
+	root := s.inc.Add(cp)
 	c := s.comps[root]
 	if c == nil || c.sealed {
 		// sealed here means a late link reached an already-dispatched
@@ -246,7 +318,7 @@ func (s *parSession) Push(a *activity.Activity) error {
 		s.nextCompID++
 		s.comps[root] = c
 	}
-	c.perHost[cp.Ctx.Host] = append(c.perHost[cp.Ctx.Host], pushRec{a: &cp, seq: h.seq})
+	c.perHost[cp.Ctx.Host] = append(c.perHost[cp.Ctx.Host], pushRec{a: cp, seq: h.seq})
 	if cp.Timestamp < c.minTs {
 		c.minTs = cp.Timestamp
 	}
@@ -261,16 +333,44 @@ func (s *parSession) Push(a *activity.Activity) error {
 	s.noteEndpoint(c, cp.Chan.Src.IP)
 	s.noteEndpoint(c, cp.Chan.Dst.IP)
 	h.seq++
-	h.last = cp.Timestamp
+	if cp.Timestamp > h.last || !h.any {
+		h.last = cp.Timestamp
+	}
 	h.any = true
 	s.pushed++
 	s.pendingActs++
+}
+
+// Heartbeat implements sessionImpl: the host's agent asserts it is alive
+// and will never deliver an activity older than ts. The assertion
+// advances the host's watermark bound (quiet-but-healthy hosts stop
+// holding back emission) and the activity clock (seal horizons keep
+// advancing through traffic lulls). A stale heartbeat — older than the
+// host's newest delivered record — is ignored.
+func (s *streamSession) Heartbeat(host string, ts time.Duration) error {
+	if s.closed {
+		return fmt.Errorf("core: heartbeat on closed session")
+	}
+	h, ok := s.hosts[host]
+	if !ok {
+		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", host)
+	}
+	if !h.open {
+		return fmt.Errorf("core: heartbeat on closed source %s", host)
+	}
+	if ts > h.last || !h.any {
+		h.last = ts
+	}
+	h.any = true
+	if ts > s.maxTs {
+		s.maxTs = ts
+	}
 	return nil
 }
 
 // noteEndpoint records a channel endpoint's owning host as a possible
 // future contributor to the component.
-func (s *parSession) noteEndpoint(c *sessComponent, ip string) {
+func (s *streamSession) noteEndpoint(c *sessComponent, ip string) {
 	if hn, ok := s.opts.IPToHost[ip]; ok {
 		if _, declared := s.hosts[hn]; declared {
 			c.hosts[hn] = struct{}{}
@@ -280,7 +380,7 @@ func (s *parSession) noteEndpoint(c *sessComponent, ip string) {
 
 // mergeComponents is the flow.Incremental merge callback: the loser
 // root's buffers fold into the winner root's.
-func (s *parSession) mergeComponents(winner, loser int32) {
+func (s *streamSession) mergeComponents(winner, loser int32) {
 	cw, cl := s.comps[winner], s.comps[loser]
 	if cl != nil {
 		delete(s.comps, loser)
@@ -301,12 +401,12 @@ func (s *parSession) mergeComponents(winner, loser int32) {
 }
 
 // fuse merges two component buffers (the larger absorbs the smaller).
-func (s *parSession) fuse(a, b *sessComponent, root int32) *sessComponent {
+func (s *streamSession) fuse(a, b *sessComponent, root int32) *sessComponent {
 	// A sealed component is already owned by the worker pool; its buffers
 	// must not be touched. Reaching one here is only possible when
 	// IPToHost fails to cover a declared host — degrade to under-merged
-	// shards instead of a data race, mirroring how the sequential ranker
-	// degrades on the same misconfiguration.
+	// shards instead of a data race, mirroring how the ranker degrades on
+	// the same misconfiguration.
 	if a.sealed || b.sealed {
 		live := a
 		if a.sealed {
@@ -368,7 +468,7 @@ func mergeRuns(x, y []pushRec) []pushRec {
 
 // CloseHost implements sessionImpl: closing a stream is what seals
 // components and feeds the worker pool.
-func (s *parSession) CloseHost(host string) error {
+func (s *streamSession) CloseHost(host string) error {
 	h, ok := s.hosts[host]
 	if !ok {
 		return fmt.Errorf("core: unknown host %q", host)
@@ -385,7 +485,7 @@ func (s *parSession) CloseHost(host string) error {
 
 // sealCompleted seals every component that no open host can extend and
 // queues it for the worker pool, in deterministic creation order.
-func (s *parSession) sealCompleted() {
+func (s *streamSession) sealCompleted() {
 	var ready []*sessComponent
 	for _, c := range s.comps {
 		if c.sealed || s.growable(c) {
@@ -396,18 +496,47 @@ func (s *parSession) sealCompleted() {
 	s.enqueue(ready)
 }
 
+// compHorizon returns the component's effective seal horizon: the
+// largest horizon among the open declared hosts that may still extend
+// it — a component a lagging host can touch inherits that host's longer
+// deadline; components it cannot touch keep the shorter default. Closed
+// streams deliver nothing, so (like growable) they bound nothing: a
+// horizon-less host stops pinning its components open the moment it
+// closes. 0 means unbounded: some open contributing host has no
+// horizon, so only closure can seal the component.
+func (s *streamSession) compHorizon(c *sessComponent) time.Duration {
+	var horizon time.Duration
+	for hn := range c.hosts {
+		hh := s.hosts[hn]
+		if hh == nil || !hh.open {
+			continue
+		}
+		if hh.horizon <= 0 {
+			return 0
+		}
+		if hh.horizon > horizon {
+			horizon = hh.horizon
+		}
+	}
+	return horizon
+}
+
 // sealStale force-seals every component whose newest activity has fallen
-// more than SealAfter behind the activity clock — the continuous-emission
-// rule. Evaluated at Drain, against pushed timestamps only, so replaying
-// the same push/drain sequence reproduces the same seals.
-func (s *parSession) sealStale() {
-	if s.opts.SealAfter <= 0 {
+// more than its own horizon behind the activity clock — the continuous-
+// emission rule. Evaluated at Drain, against pushed/heartbeated
+// timestamps only, so replaying the same push/drain sequence reproduces
+// the same seals.
+func (s *streamSession) sealStale() {
+	if !s.continuous {
 		return
 	}
-	horizon := s.maxTs - s.opts.SealAfter
 	var ready []*sessComponent
 	for _, c := range s.comps {
-		if c.sealed || c.maxTs >= horizon {
+		if c.sealed {
+			continue
+		}
+		horizon := s.compHorizon(c)
+		if horizon <= 0 || c.maxTs >= s.maxTs-horizon {
 			continue
 		}
 		ready = append(ready, c)
@@ -420,11 +549,11 @@ func (s *parSession) sealStale() {
 // in deterministic creation order. In continuous mode the flow partition
 // tombstones each root, so a straggler activity becomes a counted late
 // link on a fresh component instead of touching dispatched buffers.
-func (s *parSession) enqueue(ready []*sessComponent) {
+func (s *streamSession) enqueue(ready []*sessComponent) {
 	sort.Slice(ready, func(i, j int) bool { return ready[i].id < ready[j].id })
 	for _, c := range ready {
 		c.sealed = true
-		if s.opts.SealAfter > 0 {
+		if s.continuous {
 			s.inc.Seal(c.root)
 		}
 	}
@@ -432,20 +561,9 @@ func (s *parSession) enqueue(ready []*sessComponent) {
 	s.shards += len(ready)
 }
 
-// reapPruned frees the flow bookkeeping of components dispatched more
-// than one seal horizon ago. Holding entries for a horizon past dispatch
-// keeps late-link detection alive exactly as long as the sender-liveness
-// bound promises stragglers can exist.
-func (s *parSession) reapPruned() {
-	for len(s.pruneQ) > 0 && s.pruneQ[0].at < s.maxTs-s.opts.SealAfter {
-		s.inc.Prune(s.pruneQ[0].root)
-		s.pruneQ = s.pruneQ[1:]
-	}
-}
-
 // growable reports whether any still-open declared host could push an
 // activity joining this component.
-func (s *parSession) growable(c *sessComponent) bool {
+func (s *streamSession) growable(c *sessComponent) bool {
 	for hn := range c.hosts {
 		if hh := s.hosts[hn]; hh != nil && hh.open {
 			return true
@@ -456,7 +574,7 @@ func (s *parSession) growable(c *sessComponent) bool {
 
 // pump moves work without blocking: queued components into free job
 // slots, finished shards out of the results channel.
-func (s *parSession) pump() {
+func (s *streamSession) pump() {
 	for {
 		progress := false
 		if len(s.queue) > 0 {
@@ -483,7 +601,7 @@ func (s *parSession) pump() {
 // settle dispatches everything queued and waits for every in-flight
 // shard. Blocking on results cannot deadlock: a non-empty queue with a
 // full jobs channel means workers are busy producing results.
-func (s *parSession) settle() {
+func (s *streamSession) settle() {
 	for len(s.queue) > 0 || s.collected < s.dispatched {
 		if len(s.queue) > 0 {
 			select {
@@ -499,7 +617,7 @@ func (s *parSession) settle() {
 }
 
 // absorb folds one shard result into the session aggregates.
-func (s *parSession) absorb(r sessShardResult) {
+func (s *streamSession) absorb(r sessShardResult) {
 	s.collected++
 	s.pendingActs -= r.comp.size
 	s.uncounted += int(r.rstats.Delivered)
@@ -517,26 +635,32 @@ func (s *parSession) absorb(r sessShardResult) {
 	if s.comps[r.comp.root] == r.comp {
 		delete(s.comps, r.comp.root)
 	}
-	if s.opts.SealAfter > 0 {
-		// Tombstoned at seal; entries are freed one horizon from now.
-		s.pruneQ = append(s.pruneQ, pendingPrune{root: r.comp.root, at: s.maxTs})
+	if s.continuous {
+		// Tombstoned at seal; schedule the flow-bookkeeping prune one
+		// component-horizon from now, so late-link detection stays alive
+		// exactly as long as the liveness bounds admit stragglers.
+		lag := s.compHorizon(r.comp)
+		if lag <= 0 {
+			lag = s.maxHorizon
+		}
+		s.inc.SchedulePrune(r.comp.root, s.maxTs+lag)
 	}
 }
 
 // watermark returns the END-timestamp bound below which no future graph
 // can appear: a pending component's future graphs end at or after its
 // earliest member, and an open host can only push at or after its last
-// local timestamp (a host that never pushed bounds nothing, so nothing
-// may be released). bounded is false when no component is pending and no
-// host is open — everything may go.
+// local timestamp (a host that never pushed nor heartbeated bounds
+// nothing, so nothing may be released). bounded is false when no
+// component is pending and no host is open — everything may go.
 //
-// In continuous mode (SealAfter > 0) an open host's bound is raised to
-// the sender-liveness floor maxTs−SealAfter: a quiet-but-open stream is
-// presumed to hold nothing older than the seal horizon, so it no longer
+// With a seal horizon an open host's bound is raised to its own
+// sender-liveness floor maxTs−horizon(host): a quiet-but-open stream is
+// presumed to hold nothing older than its horizon, so it no longer
 // blocks emission forever. A push violating that presumption is the same
 // late-link event the forced seal accepts, and can regress the emitted
 // order (surfaced downstream via live.Monitor.OutOfOrder).
-func (s *parSession) watermark() (time.Duration, bool) {
+func (s *streamSession) watermark() (time.Duration, bool) {
 	var wm time.Duration
 	bounded := false
 	note := func(t time.Duration) {
@@ -555,8 +679,8 @@ func (s *parSession) watermark() (time.Duration, bool) {
 		if h.any {
 			b = h.last
 		}
-		if s.opts.SealAfter > 0 {
-			if floor := s.maxTs - s.opts.SealAfter; floor > b {
+		if h.horizon > 0 {
+			if floor := s.maxTs - h.horizon; floor > b {
 				b = floor
 			}
 		}
@@ -570,7 +694,7 @@ func (s *parSession) watermark() (time.Duration, bool) {
 // Strict inequality makes cross-batch ties impossible: any graph arriving
 // later comes from a component whose minimum timestamp was at or above
 // every watermark used before, so the released stream is globally sorted.
-func (s *parSession) emit(all bool) {
+func (s *streamSession) emit(all bool) {
 	if len(s.finished) == 0 {
 		return
 	}
@@ -605,12 +729,12 @@ func (s *parSession) emit(all bool) {
 // Drain implements sessionImpl: force-seal stale components (continuous
 // mode), finish every decidable (sealed) component, and release what the
 // watermark permits.
-func (s *parSession) Drain() int {
+func (s *streamSession) Drain() int {
 	start := time.Now()
 	s.sealStale()
 	s.settle()
-	if s.opts.SealAfter > 0 {
-		s.reapPruned()
+	if s.continuous {
+		s.inc.PruneBefore(s.maxTs)
 	}
 	s.emit(false)
 	s.workTime += time.Since(start)
@@ -620,7 +744,7 @@ func (s *parSession) Drain() int {
 }
 
 // Close implements sessionImpl.
-func (s *parSession) Close() *Result {
+func (s *streamSession) Close() *Result {
 	if s.closed {
 		return s.final
 	}
@@ -651,8 +775,42 @@ func (s *parSession) Close() *Result {
 }
 
 // Graphs implements sessionImpl.
-func (s *parSession) Graphs() []*cag.Graph { return s.emitted }
+func (s *streamSession) Graphs() []*cag.Graph { return s.emitted }
 
 // Pending implements sessionImpl: activities pushed but not yet
 // correlated by a finished shard.
-func (s *parSession) Pending() int { return s.pendingActs }
+func (s *streamSession) Pending() int { return s.pendingActs }
+
+// addRankerStats accumulates shard counters. Counter fields sum across
+// shards; PeakBuffered is aggregated separately (the Result reports the
+// largest single-shard peak — the Fig. 11 global-buffer figure is a
+// global-pass concept).
+func addRankerStats(dst *ranker.Stats, s ranker.Stats) {
+	dst.Fetched += s.Fetched
+	dst.Delivered += s.Delivered
+	dst.FilterDropped += s.FilterDropped
+	dst.NoiseDropped += s.NoiseDropped
+	dst.Swaps += s.Swaps
+	dst.Extensions += s.Extensions
+	dst.ForcedPops += s.ForcedPops
+	if s.PeakBuffered > dst.PeakBuffered {
+		dst.PeakBuffered = s.PeakBuffered
+	}
+}
+
+func addEngineStats(dst *engine.Stats, s engine.Stats) {
+	dst.Begins += s.Begins
+	dst.Finished += s.Finished
+	dst.MergedSends += s.MergedSends
+	dst.MergedBegins += s.MergedBegins
+	dst.MergedEnds += s.MergedEnds
+	dst.PartialReceives += s.PartialReceives
+	dst.Receives += s.Receives
+	dst.Sends += s.Sends
+	dst.DiscardedSends += s.DiscardedSends
+	dst.DiscardedReceives += s.DiscardedReceives
+	dst.DiscardedEnds += s.DiscardedEnds
+	dst.OverrunReceives += s.OverrunReceives
+	dst.ReplacedSends += s.ReplacedSends
+	dst.ThreadReuseBreaks += s.ThreadReuseBreaks
+}

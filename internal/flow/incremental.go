@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"time"
+
 	"repro/internal/activity"
 )
 
@@ -48,8 +50,16 @@ type Incremental struct {
 
 	keys       map[int32]*compKeys // root -> keys for Prune; nil = untracked
 	tombstones map[int32]struct{}  // sealed roots: late links detach
+	scheduled  []pendingPrune      // prunes deferred to a future clock
 	lateLinks  int
 	pruned     int
+}
+
+// pendingPrune is one sealed root awaiting its deferred prune: freed once
+// the caller's activity clock reaches at (see SchedulePrune).
+type pendingPrune struct {
+	root int32
+	at   time.Duration
 }
 
 // chanInfo is the interned view of one directed channel: the union-find
@@ -334,6 +344,39 @@ func (in *Incremental) Prune(root int32) {
 	// the tombstone again — drop it too, keeping ALL bookkeeping bounded.
 	delete(in.tombstones, root)
 	in.pruned++
+}
+
+// SchedulePrune defers a sealed root's Prune until the caller's activity
+// clock reaches at: call PruneBefore with the advancing clock to execute
+// the backlog. Keeping the Seal→Prune window open until at preserves
+// late-link detection for exactly as long as the caller's sender-liveness
+// bounds admit stragglers — with per-host seal horizons the window is per
+// component, so deadlines are not monotone and the queue is scanned, not
+// popped. The caller must have Sealed the root already.
+func (in *Incremental) SchedulePrune(root int32, at time.Duration) {
+	in.scheduled = append(in.scheduled, pendingPrune{root: in.d.find(root), at: at})
+}
+
+// PruneBefore prunes every scheduled root whose deadline lies strictly
+// before clock, returning how many were freed. The scan is linear in the
+// scheduled backlog, which the caller's horizons keep bounded by
+// recently-dispatched components.
+func (in *Incremental) PruneBefore(clock time.Duration) int {
+	if len(in.scheduled) == 0 {
+		return 0
+	}
+	kept := in.scheduled[:0]
+	n := 0
+	for _, p := range in.scheduled {
+		if p.at < clock {
+			in.Prune(p.root)
+			n++
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	in.scheduled = kept
+	return n
 }
 
 // Root resolves a component id previously returned by Add to its current

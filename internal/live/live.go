@@ -97,6 +97,23 @@ type Monitor struct {
 
 	pendingSkipped int // empty intervals skipped since the last close
 	skippedEmpty   int // total empty intervals skipped over all gaps
+
+	// hostNewest tracks, per traced host, the newest record timestamp seen
+	// in any ingested CAG; newest is the global maximum. Their difference
+	// is the per-host lag a deployment tunes per-host seal horizons
+	// (core.Options.SealAfterByHost) and heartbeat cadence against.
+	hostNewest map[string]time.Duration
+	newest     time.Duration
+}
+
+// HostLag is one host's staleness as observed through the CAG stream:
+// how far its newest contributed record trails the newest record from any
+// host. A chronically large lag identifies the agent that needs a longer
+// per-host seal horizon (or a fix).
+type HostLag struct {
+	Host   string
+	Newest time.Duration
+	Lag    time.Duration
 }
 
 // NewMonitor returns a monitor with the given configuration.
@@ -110,7 +127,11 @@ func NewMonitor(cfg Config) *Monitor {
 	if cfg.MinRequests <= 0 {
 		cfg.MinRequests = 10
 	}
-	return &Monitor{cfg: cfg, baselines: make(map[string]*patternBaseline)}
+	return &Monitor{
+		cfg:        cfg,
+		baselines:  make(map[string]*patternBaseline),
+		hostNewest: make(map[string]time.Duration),
+	}
 }
 
 // Ingest adds one finished CAG. CAGs must arrive in non-decreasing
@@ -151,6 +172,47 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 	sig := cag.Signature(g)
 	m.cur.graphs[sig] = append(m.cur.graphs[sig], g)
 	m.ingested++
+	for _, v := range g.Vertices() {
+		if v.Timestamp > m.hostNewest[v.Ctx.Host] || m.hostNewest[v.Ctx.Host] == 0 {
+			m.hostNewest[v.Ctx.Host] = v.Timestamp
+		}
+		if v.Timestamp > m.newest {
+			m.newest = v.Timestamp
+		}
+	}
+}
+
+// HostLags returns every host's staleness relative to the newest record
+// observed from any host, laggiest first (ties broken by host name). The
+// view is per ingested CAG records, so it reflects what correlation has
+// released, not raw agent deliveries — a host that only appears in
+// still-pending components will look stale until its components seal.
+func (m *Monitor) HostLags() []HostLag {
+	out := make([]HostLag, 0, len(m.hostNewest))
+	for h, ts := range m.hostNewest {
+		out = append(out, HostLag{Host: h, Newest: ts, Lag: m.newest - ts})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lag != out[j].Lag {
+			return out[i].Lag > out[j].Lag
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}
+
+// HostLagTable renders the per-host lag view for terminal output.
+func (m *Monitor) HostLagTable() string {
+	lags := m.HostLags()
+	if len(lags) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s\n", "host", "newest", "lag")
+	for _, l := range lags {
+		fmt.Fprintf(&b, "%-12s %12v %12v\n", l.Host, l.Newest, l.Lag)
+	}
+	return b.String()
 }
 
 // Flush closes the current interval (end of stream). A current bucket is

@@ -313,3 +313,37 @@ func TestIntervalHistory(t *testing.T) {
 		t.Fatalf("table:\n%s", table)
 	}
 }
+
+func TestMonitorHostLags(t *testing.T) {
+	m := NewMonitor(Config{Interval: 100 * time.Millisecond})
+	// buildGraph's back tier (app1) last appears hop+frontWork before the
+	// front tier's END — a fixed per-graph lag the monitor must surface.
+	m.Ingest(buildGraph(t, 50*time.Millisecond, 10*time.Millisecond, 5*time.Millisecond, 1))
+	m.Ingest(buildGraph(t, 90*time.Millisecond, 10*time.Millisecond, 5*time.Millisecond, 2))
+	lags := m.HostLags()
+	if len(lags) != 2 {
+		t.Fatalf("HostLags reported %d hosts, want 2", len(lags))
+	}
+	if lags[0].Host != "app1" || lags[1].Host != "web1" {
+		t.Fatalf("lag order = %s,%s; want laggiest (app1) first", lags[0].Host, lags[1].Host)
+	}
+	if lags[1].Lag != 0 {
+		t.Fatalf("web1 lag = %v, want 0 (it owns the newest record)", lags[1].Lag)
+	}
+	if want := 15 * time.Millisecond; lags[0].Lag != want {
+		t.Fatalf("app1 lag = %v, want %v", lags[0].Lag, want)
+	}
+	if lags[0].Newest != 75*time.Millisecond {
+		t.Fatalf("app1 newest = %v, want 75ms", lags[0].Newest)
+	}
+	tbl := m.HostLagTable()
+	if !strings.Contains(tbl, "app1") || !strings.Contains(tbl, "web1") {
+		t.Fatalf("HostLagTable missing hosts:\n%s", tbl)
+	}
+	if m.HostLagTable() == "" {
+		t.Fatal("empty table for a populated monitor")
+	}
+	if empty := NewMonitor(Config{}); empty.HostLagTable() != "" {
+		t.Fatal("HostLagTable non-empty for an empty monitor")
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
+	"repro/internal/activity"
+	"repro/internal/cag"
 	"repro/internal/core"
 	"repro/internal/rubis"
 )
@@ -29,12 +32,97 @@ type benchEntry struct {
 	Speedup    float64 `json:"speedup_vs_seq"`
 }
 
+// sessionPushEntry records the unified streaming engine's push-path cost
+// (BenchmarkSessionPush measures the same path interactively): classify +
+// incremental flow partition + component bookkeeping + periodic drains,
+// normalised to ns per pushed activity.
+type sessionPushEntry struct {
+	Scale         float64 `json:"scale"`
+	Clients       int     `json:"clients"`
+	Activities    int     `json:"activities"`
+	Workers       int     `json:"workers"`
+	SealAfterMs   int     `json:"seal_after_ms"`
+	NumCPU        int     `json:"num_cpu"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	NsPerActivity float64 `json:"ns_per_activity"`
+}
+
 type benchReport struct {
-	Benchmark  string       `json:"benchmark"`
-	NumCPU     int          `json:"num_cpu"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Note       string       `json:"note,omitempty"`
-	Entries    []benchEntry `json:"entries"`
+	Benchmark   string             `json:"benchmark"`
+	NumCPU      int                `json:"num_cpu"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Note        string             `json:"note,omitempty"`
+	Entries     []benchEntry       `json:"entries"`
+	SessionPush []sessionPushEntry `json:"session_push,omitempty"`
+}
+
+// sessionReplay pushes the trace through an online Session in global
+// timestamp order with periodic drains — the unified push path every
+// execution mode now runs on.
+func sessionReplay(tb testing.TB, res *rubis.Result, workers int, sealAfter time.Duration) {
+	tb.Helper()
+	hosts := make([]string, 0, len(res.PerHost))
+	for h := range res.PerHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	arr := make([]*activity.Activity, len(res.Trace))
+	copy(arr, res.Trace)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Timestamp < arr[j].Timestamp })
+	sess, err := core.NewSession(core.Options{
+		Window:     10 * time.Millisecond,
+		EntryPorts: []int{rubis.EntryPort},
+		IPToHost:   res.IPToHost,
+		Workers:    workers,
+		SealAfter:  sealAfter,
+		OnGraph:    func(*cag.Graph) {},
+	}, hosts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i, a := range arr {
+		if err := sess.Push(a); err != nil {
+			tb.Fatal(err)
+		}
+		if (i+1)%256 == 0 {
+			sess.Drain()
+		}
+	}
+	out := sess.Close()
+	if out.Activities != len(arr) {
+		tb.Fatalf("replayed %d activities, want %d", out.Activities, len(arr))
+	}
+}
+
+// BenchmarkSessionPush measures the unified push path end to end (push +
+// periodic drain + close), reported in ns per pushed activity — the
+// figure to watch when touching stream.go's ingest/seal/emit stages.
+func BenchmarkSessionPush(b *testing.B) {
+	cfg := rubis.DefaultConfig(300)
+	cfg.Scale = 0.05
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name      string
+		workers   int
+		sealAfter time.Duration
+	}{
+		{"seq-close-driven", 1, 0},
+		{"seq-continuous", 1, 250 * time.Millisecond},
+		{"sharded-continuous", 4, 250 * time.Millisecond},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				sessionReplay(b, res, bc.workers, bc.sealAfter)
+			}
+			perAct := float64(time.Since(start).Nanoseconds()) / float64(b.N*len(res.Trace))
+			b.ReportMetric(perAct, "ns/activity")
+		})
+	}
 }
 
 // TestPipelineSpeedupTrajectory measures the sharded correlator against
@@ -126,6 +214,38 @@ func TestPipelineSpeedupTrajectory(t *testing.T) {
 				BestNs: int64(best), Speedup: float64(seq) / float64(best),
 			})
 			t.Logf("scale=%.2f workers=%d best=%v (%.2fx vs sequential)", sc.scale, w, best, float64(seq)/float64(best))
+		}
+	}
+
+	// The unified push path (post-refactor): one session-replay
+	// measurement per configuration, best of 3, ns per pushed activity.
+	{
+		cfg := rubis.DefaultConfig(300)
+		cfg.Scale = 0.05
+		res, err := rubis.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pc := range []struct {
+			workers   int
+			sealAfter time.Duration
+		}{{1, 0}, {1, 250 * time.Millisecond}, {4, 250 * time.Millisecond}} {
+			best := time.Duration(1 << 62)
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				sessionReplay(t, res, pc.workers, pc.sealAfter)
+				if el := time.Since(start); el < best {
+					best = el
+				}
+			}
+			perAct := float64(best.Nanoseconds()) / float64(len(res.Trace))
+			report.SessionPush = append(report.SessionPush, sessionPushEntry{
+				Scale: cfg.Scale, Clients: 300, Activities: len(res.Trace),
+				Workers: pc.workers, SealAfterMs: int(pc.sealAfter / time.Millisecond),
+				NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+				NsPerActivity: perAct,
+			})
+			t.Logf("session push: workers=%d sealafter=%v %.0f ns/activity", pc.workers, pc.sealAfter, perAct)
 		}
 	}
 
