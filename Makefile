@@ -16,9 +16,9 @@ GO ?= go
 # SealAfter continuous mode) and the online monitor live in.
 COVER_MIN ?= 85
 
-.PHONY: ci vet lint build test race cover bench
+.PHONY: ci vet lint build test race cover bench soak soak-short
 
-ci: vet lint build test race cover bench
+ci: vet lint build test race cover bench soak-short
 
 vet:
 	$(GO) vet ./...
@@ -48,3 +48,19 @@ cover:
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Loopback soak of the network ingestion tier: many concurrent agents
+# shipping a sustained load through collector → ingest → session, with a
+# mid-stream reconnect, checked byte-for-byte against the offline replay
+# of the same records. soak-short is the quick version `make ci` runs;
+# `make soak` scales it up (tune SOAK_AGENTS / SOAK_REQUESTS).
+SOAK_AGENTS ?= 24
+SOAK_REQUESTS ?= 20000
+
+soak:
+	$(GO) test ./internal/transport -count=1 -run TestTransportSoak -v \
+		-soak.agents=$(SOAK_AGENTS) -soak.requests=$(SOAK_REQUESTS) -timeout 15m
+
+soak-short:
+	$(GO) test ./internal/transport -count=1 -run TestTransportSoak \
+		-soak.agents=12 -soak.requests=2000

@@ -1,21 +1,31 @@
-// Command livemon replays per-host TCP_TRACE logs through the online
-// correlator in arrival order and runs the live monitor over the resulting
-// CAG stream — what a production deployment of PreciseTracer would do
-// continuously.
+// Command livemon runs the online correlator plus the live monitor — what
+// a production deployment of PreciseTracer would do continuously. It has
+// two front ends:
+//
+// Replay mode (-indir) reads per-host TCP_TRACE logs and replays them
+// through the session in arrival order, in process.
+//
+// Listen mode (-listen) is the real deployment shape: it opens the
+// network collector and correlates streams shipped by one traceagent per
+// traced host, until every agent has closed its stream.
 //
 // Usage:
 //
 //	rubisgen -clients 300 -scale 0.1 -splitdir traces/
 //	livemon -indir traces/ -interval 5s
 //	livemon -indir traces/ -sealafter 50ms,db1=500ms -heartbeat 25ms
+//	livemon -listen 127.0.0.1:9411 -hosts 'web=10.0.0.1,app1=10.0.0.2,db1=10.0.0.3' -sealafter 50ms &
+//	traceagent -addr 127.0.0.1:9411 -indir traces/ -heartbeat 25ms
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/activity"
@@ -23,6 +33,7 @@ import (
 	"repro/internal/cag"
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/transport"
 )
 
 // errUsage marks a rejected flag value: main prints the flag usage after
@@ -45,7 +56,9 @@ func main() {
 
 func run() error {
 	var (
-		inDir     = flag.String("indir", "", "directory of per-host logs (required)")
+		inDir     = flag.String("indir", "", "directory of per-host logs (replay mode)")
+		listen    = flag.String("listen", "", "collector listen address (listen mode; agents ship streams with traceagent)")
+		hostSpec  = flag.String("hosts", "", "listen mode topology: comma-separated host=ip[+ip...] entries declaring every agent and its traced addresses")
 		window    = flag.Duration("window", 10*time.Millisecond, "ranker sliding window")
 		interval  = flag.Duration("interval", 5*time.Second, "monitor aggregation interval (trace time)")
 		baseline  = flag.Int("baseline", 3, "intervals used to learn the healthy baseline")
@@ -54,11 +67,17 @@ func run() error {
 		chunk     = flag.Int("chunk", 256, "records pushed between drain rounds")
 		workers   = flag.Int("workers", 1, "correlation workers sizing the streaming engine's pool (1 = sequential configuration, 0 = all CPUs)")
 		sealAfter = flag.String("sealafter", "", "activity-time seal horizon(s): a default duration and/or host=duration overrides, comma-separated (e.g. '50ms,db1=500ms'); empty = close-driven sealing only")
-		heartbeat = flag.Duration("heartbeat", 0, "agent liveness cadence in activity time: every host asserts progress at this interval so quiet streams do not stall emission; 0 = no heartbeats")
+		heartbeat = flag.Duration("heartbeat", 0, "replay mode agent liveness cadence in activity time (listen-mode heartbeats come from the agents; see traceagent -heartbeat); 0 = no heartbeats")
 	)
 	flag.Parse()
-	if *inDir == "" {
-		return usagef("-indir is required")
+	if (*inDir == "") == (*listen == "") {
+		return usagef("exactly one of -indir (replay) or -listen (collector) is required")
+	}
+	if *listen != "" && *hostSpec == "" {
+		return usagef("-listen needs -hosts (sessions declare every stream up front)")
+	}
+	if *listen != "" && *heartbeat != 0 {
+		return usagef("-heartbeat is replay-mode only; in listen mode agents heartbeat themselves (traceagent -heartbeat)")
 	}
 	if *window <= 0 {
 		return usagef("-window must be > 0 (got %v)", *window)
@@ -83,7 +102,120 @@ func run() error {
 		return usagef("%v", err)
 	}
 
-	perHost, err := activity.ReadHostLogs(*inDir)
+	monitor := live.NewMonitor(live.Config{
+		Interval:          *interval,
+		BaselineIntervals: *baseline,
+		Detector:          analysis.Detector{ThresholdPoints: *threshold},
+		OnAlert:           func(a live.Alert) { fmt.Printf("ALERT %s\n", a) },
+	})
+	opts := core.Options{
+		Window:          *window,
+		EntryPorts:      []int{*entryPort},
+		OnGraph:         func(g *cag.Graph) { monitor.Ingest(g) },
+		Workers:         core.ResolveWorkers(*workers),
+		SealAfter:       sealDefault,
+		SealAfterByHost: sealByHost,
+	}
+
+	if *listen != "" {
+		return serveCollector(*listen, *hostSpec, opts, monitor, *chunk)
+	}
+	return replay(*inDir, opts, monitor, *chunk, *heartbeat)
+}
+
+// parseHostsSpec parses "web=10.0.0.1,app1=10.0.0.2+10.0.0.3" into the
+// declared host list (in spec order) and the IP-to-host topology map.
+func parseHostsSpec(spec string) (hosts []string, ipToHost map[string]string, err error) {
+	ipToHost = make(map[string]string)
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		host, ips, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || host == "" || ips == "" {
+			return nil, nil, fmt.Errorf("hosts entry %q: want host=ip[+ip...]", entry)
+		}
+		if seen[host] {
+			return nil, nil, fmt.Errorf("hosts entry %q: duplicate host %q", entry, host)
+		}
+		seen[host] = true
+		hosts = append(hosts, host)
+		for _, ip := range strings.Split(ips, "+") {
+			if ip == "" {
+				return nil, nil, fmt.Errorf("hosts entry %q: empty ip", entry)
+			}
+			if prev, dup := ipToHost[ip]; dup {
+				return nil, nil, fmt.Errorf("ip %q claimed by both %q and %q", ip, prev, host)
+			}
+			ipToHost[ip] = host
+		}
+	}
+	return hosts, ipToHost, nil
+}
+
+// serveCollector is listen mode: network collector → serialized ingest →
+// session, running until every declared agent has closed its stream.
+func serveCollector(addr, hostSpec string, opts core.Options, monitor *live.Monitor, chunk int) error {
+	hosts, ipToHost, err := parseHostsSpec(hostSpec)
+	if err != nil {
+		return usagef("%v", err)
+	}
+	opts.IPToHost = ipToHost
+	sess, err := core.NewSession(opts, hosts)
+	if err != nil {
+		return err
+	}
+	// OnApplied and OnGraph both fire on the ingest goroutine, so the
+	// monitor sees deliveries and CAGs without extra locking; the
+	// wall-clock flush keeps decidable CAGs moving through traffic lulls.
+	ingest := core.NewIngest(sess, core.IngestOptions{
+		DrainEvery:    chunk,
+		FlushInterval: 250 * time.Millisecond,
+		OnApplied:     monitor.ObserveDelivery,
+	})
+	col, err := transport.NewCollector(ingest, transport.CollectorConfig{
+		Hosts: hosts,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collector listening on %s for %d agents: %s\n", ln.Addr(), len(hosts), strings.Join(hosts, ", "))
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- col.Serve(ln) }()
+	select {
+	case <-col.Done():
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+		return errors.New("listener closed before all agents finished")
+	}
+	col.Shutdown()
+	ln.Close()
+	res := ingest.Close()
+	monitor.Flush()
+
+	applied := 0
+	for _, st := range col.Status() {
+		fmt.Printf("agent %s: %d items applied, newest %v, %d disconnects\n",
+			st.Host, st.LastSeq, st.LastTs, st.Disconnects)
+		applied += int(st.LastSeq)
+	}
+	fmt.Printf("collected %d items from %d agents; %d causal paths; correlation %v\n",
+		applied, len(hosts), monitor.Ingested(), res.CorrelationTime.Round(time.Millisecond))
+	report(res, monitor, opts.Workers)
+	return nil
+}
+
+// replay is the original in-process mode: read the logs, push in arrival
+// order.
+func replay(inDir string, opts core.Options, monitor *live.Monitor, chunk int, heartbeat time.Duration) error {
+	perHost, err := activity.ReadHostLogs(inDir)
 	if err != nil {
 		return err
 	}
@@ -93,23 +225,8 @@ func run() error {
 	}
 	sort.Strings(hosts)
 
-	monitor := live.NewMonitor(live.Config{
-		Interval:          *interval,
-		BaselineIntervals: *baseline,
-		Detector:          analysis.Detector{ThresholdPoints: *threshold},
-		OnAlert:           func(a live.Alert) { fmt.Printf("ALERT %s\n", a) },
-	})
-
 	merged := activity.Merge(perHost)
-	opts := core.Options{
-		Window:          *window,
-		EntryPorts:      []int{*entryPort},
-		IPToHost:        activity.InferIPToHost(merged),
-		OnGraph:         func(g *cag.Graph) { monitor.Ingest(g) },
-		Workers:         core.ResolveWorkers(*workers),
-		SealAfter:       sealDefault,
-		SealAfterByHost: sealByHost,
-	}
+	opts.IPToHost = activity.InferIPToHost(merged)
 
 	// Every worker count runs the same streaming engine; its watermark
 	// emitter delivers CAGs in the END-timestamp order Monitor.Ingest
@@ -133,7 +250,7 @@ func run() error {
 		// The replay is globally timestamp-ordered, so at clock t every
 		// agent can honestly assert it holds nothing older than t — the
 		// heartbeat a real deployment's agents would send on a timer.
-		if *heartbeat > 0 && a.Timestamp >= lastBeat+*heartbeat {
+		if heartbeat > 0 && a.Timestamp >= lastBeat+heartbeat {
 			lastBeat = a.Timestamp
 			for _, h := range hosts {
 				if err := sess.Heartbeat(h, a.Timestamp); err != nil {
@@ -141,7 +258,7 @@ func run() error {
 				}
 			}
 		}
-		if pushed%*chunk == 0 {
+		if pushed%chunk == 0 {
 			sess.Drain()
 		}
 	}
@@ -150,12 +267,19 @@ func run() error {
 
 	fmt.Printf("replayed %d activities from %d hosts; %d causal paths; correlation %v\n",
 		pushed, len(hosts), monitor.Ingested(), res.CorrelationTime.Round(time.Millisecond))
+	report(res, monitor, opts.Workers)
+	return nil
+}
+
+// report prints the shared tail of both modes: engine statistics, monitor
+// summary, history and per-host lag.
+func report(res *core.Result, monitor *live.Monitor, workers int) {
 	if res.SequentialFallback != "" {
-		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", opts.Workers, res.SequentialFallback)
+		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", workers, res.SequentialFallback)
 	}
 	if res.Shards > 0 {
 		fmt.Printf("streaming engine: %d flow components across %d workers; per-shard peaks: %d buffered activities, %d resident vertices (largest shard)\n",
-			res.Shards, opts.Workers, res.PeakBufferedActivities, res.PeakResidentVertices)
+			res.Shards, workers, res.PeakBufferedActivities, res.PeakResidentVertices)
 	}
 	if res.ForcedSeals > 0 || res.LateLinks > 0 {
 		fmt.Printf("continuous mode: %d forced seals, %d late links (CAGs may be split; see core.Options.SealAfter)\n",
@@ -174,5 +298,4 @@ func run() error {
 		fmt.Println("\nper-host lag (newest correlated record vs newest overall; tune -sealafter host= overrides against this):")
 		fmt.Print(tbl)
 	}
-	return nil
 }

@@ -1,0 +1,148 @@
+// Command traceagent is the per-host collection agent of the networked
+// deployment: it ships TCP_TRACE records to a livemon collector
+// (livemon -listen) over the transport tier's sequenced, resumable
+// protocol. In the paper's deployment the records would come from the
+// kernel tracing module; here they come from per-host log files — the
+// loopback stand-in that exercises the identical wire path.
+//
+// One traceagent process can ship every host log in a directory (one
+// agent connection per host), or a single host's with -host.
+//
+// Usage:
+//
+//	rubisgen -clients 300 -scale 0.1 -splitdir traces/
+//	livemon -listen 127.0.0.1:9411 -hosts 'web=10.0.0.1,...' &
+//	traceagent -addr 127.0.0.1:9411 -indir traces/ -heartbeat 25ms
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/transport"
+)
+
+var errUsage = errors.New("invalid flag value")
+
+func usagef(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceagent:", err)
+		if errors.Is(err, errUsage) {
+			flag.Usage()
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "", "collector address (required; see livemon -listen)")
+		inDir     = flag.String("indir", "", "directory of per-host logs (required)")
+		host      = flag.String("host", "", "ship only this host's log (default: every host in -indir)")
+		batch     = flag.Int("batch", 256, "records per batch frame")
+		flush     = flag.Duration("flush", 50*time.Millisecond, "batching latency ceiling")
+		maxUnack  = flag.Int("maxunacked", 4096, "unacknowledged record window (backpressure bound)")
+		heartbeat = flag.Duration("heartbeat", 0, "liveness cadence in activity time: assert progress at this interval of the host's own clock so quiet streams do not stall the collector; 0 = no heartbeats")
+	)
+	flag.Parse()
+	if *addr == "" {
+		return usagef("-addr is required")
+	}
+	if *inDir == "" {
+		return usagef("-indir is required")
+	}
+	if *batch <= 0 || *maxUnack <= 0 {
+		return usagef("-batch and -maxunacked must be > 0")
+	}
+	if *flush <= 0 {
+		return usagef("-flush must be > 0 (got %v)", *flush)
+	}
+	if *heartbeat < 0 {
+		return usagef("-heartbeat must be >= 0 (got %v)", *heartbeat)
+	}
+
+	// ReadHostLogs assigns the same record IDs as an offline replay of the
+	// same directory, so a networked run's output is comparable
+	// byte-for-byte with livemon -indir.
+	perHost, err := activity.ReadHostLogs(*inDir)
+	if err != nil {
+		return err
+	}
+	if *host != "" {
+		recs, ok := perHost[*host]
+		if !ok {
+			return usagef("-host %q has no log in %s", *host, *inDir)
+		}
+		perHost = map[string][]*activity.Activity{*host: recs}
+	}
+	var hosts []string
+	for h := range perHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, h := range hosts {
+		h, recs := h, perHost[h]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ship(*addr, h, recs, *batch, *flush, *maxUnack, *heartbeat); err != nil {
+				fail(fmt.Errorf("%s: %w", h, err))
+			} else {
+				fmt.Printf("agent %s: shipped %d records\n", h, len(recs))
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ship runs one host's agent: offer every record in log order, heartbeat
+// on the host's own activity clock, then the CLOSE handshake.
+func ship(addr, host string, recs []*activity.Activity, batch int, flush time.Duration, maxUnack int, heartbeat time.Duration) error {
+	a, err := transport.NewAgent(transport.AgentConfig{
+		Addr: addr, Host: host,
+		BatchSize: batch, FlushInterval: flush, MaxUnacked: maxUnack,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	var lastBeat time.Duration
+	for _, r := range recs {
+		if err := a.Record(r); err != nil {
+			return err
+		}
+		if heartbeat > 0 && r.Timestamp >= lastBeat+heartbeat {
+			lastBeat = r.Timestamp
+			if err := a.Heartbeat(r.Timestamp); err != nil {
+				return err
+			}
+		}
+	}
+	return a.Close()
+}

@@ -23,7 +23,13 @@
 //	                     merging, thread-reuse check (§4.2)
 //	internal/cag         the CAG abstraction, patterns, aggregation,
 //	                     latency breakdown (§3.2)
-//	internal/activity    activity model and TCP_TRACE wire format (§3.1)
+//	internal/activity    activity model and TCP_TRACE wire formats (§3.1):
+//	                     the text log format and the compact binary codec
+//	internal/transport   agent→collector network ingestion tier: framed
+//	                     binary batches, per-agent sequence/ack resume,
+//	                     TCP backpressure (§3.1 deployment)
+//	internal/live        online monitor over the CAG stream: interval
+//	                     aggregation, baselines, alerts, per-host lag
 //	internal/analysis    latency percentages, cross-run diffs, automated
 //	                     bottleneck detector (§5.4, §7)
 //	internal/baseline    naive and WAP5-style comparators (§6)
@@ -34,8 +40,10 @@
 //	internal/groundtruth the §5.2 path-accuracy methodology
 //
 // Binaries: cmd/rubisgen (generate traces), cmd/precisetracer (offline
-// correlator CLI), cmd/experiments (regenerate the evaluation). Runnable
-// walk-throughs live under examples/.
+// correlator CLI), cmd/experiments (regenerate the evaluation),
+// cmd/livemon (online monitor: in-process replay or network collector),
+// cmd/traceagent (per-host collection agent feeding a livemon
+// collector). Runnable walk-throughs live under examples/.
 //
 // # The streaming pipeline
 //
@@ -102,4 +110,43 @@
 // is_noise predicate reads the global window buffer, so it runs the
 // single undivided ranker+engine pass; a Workers > 1 request in that mode
 // is surfaced in Result.SequentialFallback instead of degrading silently.
+//
+// # Deployment
+//
+// The paper's deployment (§3.1) runs one kernel tracing agent per traced
+// host, shipping TCP_TRACE streams to a central correlator. The
+// networked shape of that deployment is:
+//
+//	traceagent (per host) ──TCP──> livemon -listen
+//	    │                              │
+//	    │ internal/transport.Agent     │ internal/transport.Collector
+//	    │   binary batches,            │   per-host resume state,
+//	    │   seq/ack, reconnect         │   exactly-once apply
+//	    │                              ▼
+//	    │                          core.Ingest (serialized front)
+//	    │                              │ bounded op queue
+//	    │                              ▼
+//	    └── backpressure ◄──────── core.Session ──> live.Monitor
+//
+// Records travel as length-prefixed frames of the compact binary codec
+// (activity.AppendBinary) with per-agent monotone sequence numbers;
+// records and heartbeats share one sequence space. The collector applies
+// only items above its per-host high-water mark, so delivery is
+// at-least-once on the wire and exactly-once into the session: an agent
+// replays its unacked tail after a reconnect, and a restarted agent
+// re-offers its whole log (sequences are positional — the applied prefix
+// is skipped). Backpressure is TCP itself: when correlation falls behind,
+// the Ingest queue fills, collector handlers stop reading their sockets,
+// and the agents' bounded unacked windows block the producers.
+//
+// Because the session's output depends only on per-host record order —
+// which the sequence protocol preserves exactly — a networked run drains
+// an OnGraph stream byte-identical to an in-process replay of the same
+// logs (TestNetworkedEquivalence), no matter how connections interleave,
+// bounce, or resume. Agent death degrades, never corrupts: with seal
+// horizons configured, a dead host's components force-seal
+// (Result.ForcedSeals), its staleness shows in Monitor.HostLags (the
+// Delivered column is raw transport progress, fed by
+// core.IngestOptions.OnApplied), and a too-late return is absorbed as
+// Result.LateLinks.
 package repro

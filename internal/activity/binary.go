@@ -1,0 +1,171 @@
+package activity
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// The compact binary codec for TCP_TRACE records — the on-the-wire sibling
+// of the text format in wire.go, used by internal/transport to frame
+// batches of records between a per-host agent and the central collector.
+//
+// Layout (all integers varint/uvarint, strings uvarint-length-prefixed):
+//
+//	type      1 byte  (Begin/Send/End/Receive)
+//	timestamp varint  nanoseconds (full Duration precision — the text
+//	                  format truncates to µs; the binary one must not)
+//	host, program     string
+//	pid, tid          varint
+//	src ip            string
+//	src port          uvarint
+//	dst ip            string
+//	dst port          uvarint
+//	size              varint
+//	id                varint  (record ID: emission tie-breaks depend on it,
+//	                  so byte-identical replay needs it on the wire)
+//	req, msg          varint  (ground truth; -1 when absent)
+//
+// The codec is structural, not semantic: like ParseRecord it validates
+// shape (type tag, string bounds, port range) and trusts content. Decode
+// never reads past the given buffer and never panics on malformed input
+// (FuzzBinaryDecode).
+
+// maxBinaryString caps decoded string lengths — far above any real
+// hostname/program/address, far below anything that could OOM a decoder
+// fed garbage lengths.
+const maxBinaryString = 1 << 12
+
+// AppendBinary appends the binary encoding of a to buf and returns the
+// extended buffer.
+func AppendBinary(buf []byte, a *Activity) []byte {
+	buf = append(buf, byte(a.Type))
+	buf = binary.AppendVarint(buf, int64(a.Timestamp))
+	buf = appendBinaryString(buf, a.Ctx.Host)
+	buf = appendBinaryString(buf, a.Ctx.Program)
+	buf = binary.AppendVarint(buf, int64(a.Ctx.PID))
+	buf = binary.AppendVarint(buf, int64(a.Ctx.TID))
+	buf = appendBinaryString(buf, a.Chan.Src.IP)
+	buf = binary.AppendUvarint(buf, uint64(uint16(a.Chan.Src.Port)))
+	buf = appendBinaryString(buf, a.Chan.Dst.IP)
+	buf = binary.AppendUvarint(buf, uint64(uint16(a.Chan.Dst.Port)))
+	buf = binary.AppendVarint(buf, a.Size)
+	buf = binary.AppendVarint(buf, a.ID)
+	buf = binary.AppendVarint(buf, a.ReqID)
+	buf = binary.AppendVarint(buf, a.MsgID)
+	return buf
+}
+
+// DecodeBinary decodes one record from the front of buf, returning the
+// record and the number of bytes consumed. It errors (never panics) on
+// truncated or malformed input.
+func DecodeBinary(buf []byte) (*Activity, int, error) {
+	d := binDecoder{buf: buf}
+	a := &Activity{}
+	t := d.byte()
+	if t < byte(Begin) || t > byte(Receive) {
+		if d.err == nil {
+			d.err = fmt.Errorf("activity: bad binary type tag %d", t)
+		}
+		return nil, 0, d.err
+	}
+	a.Type = Type(t)
+	a.Timestamp = time.Duration(d.varint())
+	a.Ctx.Host = d.string()
+	a.Ctx.Program = d.string()
+	a.Ctx.PID = int(d.varint())
+	a.Ctx.TID = int(d.varint())
+	a.Chan.Src.IP = d.string()
+	a.Chan.Src.Port = int(d.port())
+	a.Chan.Dst.IP = d.string()
+	a.Chan.Dst.Port = int(d.port())
+	a.Size = d.varint()
+	a.ID = d.varint()
+	a.ReqID = d.varint()
+	a.MsgID = d.varint()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return a, d.off, nil
+}
+
+func appendBinaryString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// binDecoder is a bounds-checked cursor over one encoded record. The
+// first failure sticks; every later read returns zero values.
+type binDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *binDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("activity: binary record truncated or malformed at %s (offset %d)", what, d.off)
+	}
+}
+
+func (d *binDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("type")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *binDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *binDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *binDecoder) port() uint64 {
+	v := d.uvarint()
+	if d.err == nil && v > 65535 {
+		d.fail("port")
+		return 0
+	}
+	return v
+}
+
+func (d *binDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxBinaryString || int(n) > len(d.buf)-d.off {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

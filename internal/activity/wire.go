@@ -40,6 +40,15 @@ func ParseTimestamp(s string) (time.Duration, error) {
 	sec, frac, ok := strings.Cut(s, ".")
 	if !ok {
 		frac = "0"
+	} else if frac == "" {
+		return 0, fmt.Errorf("timestamp %q: empty fraction", s)
+	}
+	// The fraction must be bare digits: ParseInt alone would accept a sign
+	// ("1.-5" parsing as negative microseconds) and padding would mangle it.
+	for i := 0; i < len(frac); i++ {
+		if frac[i] < '0' || frac[i] > '9' {
+			return 0, fmt.Errorf("timestamp %q: non-digit fraction byte %q", s, frac[i])
+		}
 	}
 	secs, err := strconv.ParseInt(sec, 10, 64)
 	if err != nil {
@@ -168,13 +177,24 @@ func parseChannel(s string) (Channel, error) {
 }
 
 func parseEndpoint(s string) (Endpoint, error) {
-	ip, portStr, ok := strings.Cut(s, ":")
-	if !ok {
+	// Split on the LAST colon: IPv6 addresses ("2001:db8::1") contain
+	// colons themselves, so a first-colon split can never parse a v6
+	// endpoint. FormatRecord writes ip:port, so the port is always the
+	// text after the final colon.
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
 		return Endpoint{}, fmt.Errorf("endpoint %q: missing ':'", s)
+	}
+	ip, portStr := s[:i], s[i+1:]
+	if ip == "" {
+		return Endpoint{}, fmt.Errorf("endpoint %q: empty address", s)
 	}
 	port, err := strconv.Atoi(portStr)
 	if err != nil {
 		return Endpoint{}, fmt.Errorf("endpoint %q: %w", s, err)
+	}
+	if port < 0 || port > 65535 {
+		return Endpoint{}, fmt.Errorf("endpoint %q: port %d out of range", s, port)
 	}
 	return Endpoint{IP: ip, Port: port}, nil
 }
@@ -215,13 +235,18 @@ func NewWriter(w io.Writer, withTruth bool) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16), withTruth: withTruth}
 }
 
-// Write emits one record.
+// Write emits one record. The record counts as written only once the
+// whole line, trailing newline included, was accepted — a short write
+// must not leave Count() claiming a record the sink never got.
 func (w *Writer) Write(a *Activity) error {
 	if _, err := w.w.WriteString(FormatRecord(a, w.withTruth)); err != nil {
 		return err
 	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
 	w.count++
-	return w.w.WriteByte('\n')
+	return nil
 }
 
 // Count returns the number of records written.

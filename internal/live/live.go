@@ -104,6 +104,14 @@ type Monitor struct {
 	// (core.Options.SealAfterByHost) and heartbeat cadence against.
 	hostNewest map[string]time.Duration
 	newest     time.Duration
+
+	// delivered tracks, per host, the newest record or heartbeat timestamp
+	// the transport tier has applied — raw agent progress, ahead of (and
+	// independent from) what correlation has released into CAGs. The gap
+	// between Delivered and Newest is work in flight; a Delivered that
+	// stops advancing is a dead or disconnected agent.
+	delivered    map[string]time.Duration
+	deliveredAny bool
 }
 
 // HostLag is one host's staleness as observed through the CAG stream:
@@ -114,6 +122,10 @@ type HostLag struct {
 	Host   string
 	Newest time.Duration
 	Lag    time.Duration
+	// Delivered is the newest timestamp the ingestion tier reported for
+	// this host via ObserveDelivery; zero when deliveries are not being
+	// observed (offline replay).
+	Delivered time.Duration
 }
 
 // NewMonitor returns a monitor with the given configuration.
@@ -131,6 +143,7 @@ func NewMonitor(cfg Config) *Monitor {
 		cfg:        cfg,
 		baselines:  make(map[string]*patternBaseline),
 		hostNewest: make(map[string]time.Duration),
+		delivered:  make(map[string]time.Duration),
 	}
 }
 
@@ -182,15 +195,39 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 	}
 }
 
+// ObserveDelivery records transport-level progress for one host: the
+// ingestion tier applied a record or heartbeat with timestamp ts. Like
+// Ingest it must be called from the monitor's single feeding goroutine
+// (core.IngestOptions.OnApplied runs on the same goroutine as OnGraph,
+// so wiring both to one Monitor is safe).
+func (m *Monitor) ObserveDelivery(host string, ts time.Duration) {
+	m.deliveredAny = true
+	if ts > m.delivered[host] {
+		m.delivered[host] = ts
+	}
+}
+
 // HostLags returns every host's staleness relative to the newest record
 // observed from any host, laggiest first (ties broken by host name). The
-// view is per ingested CAG records, so it reflects what correlation has
-// released, not raw agent deliveries — a host that only appears in
-// still-pending components will look stale until its components seal.
+// Newest/Lag view is per ingested CAG records, so it reflects what
+// correlation has released, not raw agent deliveries — a host that only
+// appears in still-pending components will look stale until its
+// components seal. Delivered (when fed via ObserveDelivery) is the raw
+// transport-side progress; a host that has delivered but not yet
+// contributed to any released CAG appears with Newest zero and the full
+// lag.
 func (m *Monitor) HostLags() []HostLag {
-	out := make([]HostLag, 0, len(m.hostNewest))
-	for h, ts := range m.hostNewest {
-		out = append(out, HostLag{Host: h, Newest: ts, Lag: m.newest - ts})
+	hosts := make(map[string]bool, len(m.hostNewest)+len(m.delivered))
+	for h := range m.hostNewest {
+		hosts[h] = true
+	}
+	for h := range m.delivered {
+		hosts[h] = true
+	}
+	out := make([]HostLag, 0, len(hosts))
+	for h := range hosts {
+		ts := m.hostNewest[h]
+		out = append(out, HostLag{Host: h, Newest: ts, Lag: m.newest - ts, Delivered: m.delivered[h]})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Lag != out[j].Lag {
@@ -201,16 +238,25 @@ func (m *Monitor) HostLags() []HostLag {
 	return out
 }
 
-// HostLagTable renders the per-host lag view for terminal output.
+// HostLagTable renders the per-host lag view for terminal output. The
+// delivered column appears only when the ingestion tier reports
+// deliveries (networked mode); offline replay keeps the compact form.
 func (m *Monitor) HostLagTable() string {
 	lags := m.HostLags()
 	if len(lags) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %12s %12s\n", "host", "newest", "lag")
+	if !m.deliveredAny {
+		fmt.Fprintf(&b, "%-12s %12s %12s\n", "host", "newest", "lag")
+		for _, l := range lags {
+			fmt.Fprintf(&b, "%-12s %12v %12v\n", l.Host, l.Newest, l.Lag)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "host", "newest", "lag", "delivered")
 	for _, l := range lags {
-		fmt.Fprintf(&b, "%-12s %12v %12v\n", l.Host, l.Newest, l.Lag)
+		fmt.Fprintf(&b, "%-12s %12v %12v %12v\n", l.Host, l.Newest, l.Lag, l.Delivered)
 	}
 	return b.String()
 }

@@ -346,4 +346,36 @@ func TestMonitorHostLags(t *testing.T) {
 	if empty := NewMonitor(Config{}); empty.HostLagTable() != "" {
 		t.Fatal("HostLagTable non-empty for an empty monitor")
 	}
+	if strings.Contains(tbl, "delivered") {
+		t.Fatalf("delivered column without any ObserveDelivery:\n%s", tbl)
+	}
+}
+
+// TestMonitorObserveDelivery: the transport-side delivery clock rides
+// HostLags independently of the correlated view — a host that has
+// delivered but not yet appeared in any released CAG is listed, and the
+// table grows the delivered column only once deliveries are observed.
+func TestMonitorObserveDelivery(t *testing.T) {
+	m := NewMonitor(Config{Interval: 100 * time.Millisecond})
+	m.Ingest(buildGraph(t, 50*time.Millisecond, 10*time.Millisecond, 5*time.Millisecond, 1))
+	m.ObserveDelivery("web1", 95*time.Millisecond)
+	m.ObserveDelivery("web1", 80*time.Millisecond) // stale: ignored
+	m.ObserveDelivery("db9", 20*time.Millisecond)  // delivered, never correlated
+	byHost := make(map[string]HostLag)
+	for _, l := range m.HostLags() {
+		byHost[l.Host] = l
+	}
+	if len(byHost) != 3 {
+		t.Fatalf("HostLags reported %d hosts, want 3 (incl. delivery-only db9)", len(byHost))
+	}
+	if got := byHost["web1"].Delivered; got != 95*time.Millisecond {
+		t.Fatalf("web1 delivered = %v, want 95ms", got)
+	}
+	if got := byHost["db9"]; got.Delivered != 20*time.Millisecond || got.Newest != 0 {
+		t.Fatalf("db9 = %+v, want delivered 20ms and no correlated records", got)
+	}
+	tbl := m.HostLagTable()
+	if !strings.Contains(tbl, "delivered") || !strings.Contains(tbl, "db9") {
+		t.Fatalf("HostLagTable missing delivery view:\n%s", tbl)
+	}
 }
