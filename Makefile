@@ -16,9 +16,9 @@ GO ?= go
 # SealAfter continuous mode) and the online monitor live in.
 COVER_MIN ?= 85
 
-.PHONY: ci vet lint build test race cover bench soak soak-short
+.PHONY: ci vet lint build test race cover bench bench-allocs soak soak-short
 
-ci: vet lint build test race cover bench soak-short
+ci: vet lint build test race cover bench bench-allocs soak-short
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,25 @@ cover:
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Allocation regression gate for the identity-layer hot path: the
+# close-driven BenchmarkSessionPush case must stay under ALLOCS_BUDGET
+# allocs/op. The budget is the post-interning measurement (~68k on the
+# reference box; down from 178,250 before dense keys) plus ~25% headroom
+# for machine variance — an accidental per-record allocation costs ~37k
+# allocs/op here and blows the budget immediately.
+ALLOCS_BUDGET ?= 85000
+
+bench-allocs:
+	@$(GO) test -run '^$$' -bench 'BenchmarkSessionPush/seq-close-driven' \
+		-benchmem -benchtime=3x . \
+	| awk -v budget=$(ALLOCS_BUDGET) ' \
+		/BenchmarkSessionPush/ { allocs = $$(NF-1) + 0; found = 1 } \
+		END { \
+			if (!found) { print "bench-allocs: benchmark produced no result"; exit 1 } \
+			printf "bench-allocs: BenchmarkSessionPush/seq-close-driven %d allocs/op (budget %d)\n", allocs, budget; \
+			exit (allocs > budget) \
+		}'
 
 # Loopback soak of the network ingestion tier: many concurrent agents
 # shipping a sustained load through collector → ingest → session, with a

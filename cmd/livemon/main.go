@@ -166,10 +166,14 @@ func serveCollector(addr, hostSpec string, opts core.Options, monitor *live.Moni
 	// OnApplied and OnGraph both fire on the ingest goroutine, so the
 	// monitor sees deliveries and CAGs without extra locking; the
 	// wall-clock flush keeps decidable CAGs moving through traffic lulls.
+	// Release returns decoded transport records to the activity pool once
+	// the session has copied what it keeps — the collector decodes every
+	// batch into pooled storage (activity.NewRecord).
 	ingest := core.NewIngest(sess, core.IngestOptions{
 		DrainEvery:    chunk,
 		FlushInterval: 250 * time.Millisecond,
 		OnApplied:     monitor.ObserveDelivery,
+		Release:       activity.ReleaseRecord,
 	})
 	col, err := transport.NewCollector(ingest, transport.CollectorConfig{
 		Hosts: hosts,

@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/activity"
@@ -53,6 +54,7 @@ func run() error {
 		flush     = flag.Duration("flush", 50*time.Millisecond, "batching latency ceiling")
 		maxUnack  = flag.Int("maxunacked", 4096, "unacknowledged record window (backpressure bound)")
 		heartbeat = flag.Duration("heartbeat", 0, "liveness cadence in activity time: assert progress at this interval of the host's own clock so quiet streams do not stall the collector; 0 = no heartbeats")
+		wallbeat  = flag.Duration("wallbeat", 0, "wall-clock liveness cadence: re-assert the newest offered timestamp at this real-time interval, so a fully idle host (no records flowing) still proves its agent is alive; 0 = off")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -69,6 +71,9 @@ func run() error {
 	}
 	if *heartbeat < 0 {
 		return usagef("-heartbeat must be >= 0 (got %v)", *heartbeat)
+	}
+	if *wallbeat < 0 {
+		return usagef("-wallbeat must be >= 0 (got %v)", *wallbeat)
 	}
 
 	// ReadHostLogs assigns the same record IDs as an offline replay of the
@@ -108,7 +113,7 @@ func run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := ship(*addr, h, recs, *batch, *flush, *maxUnack, *heartbeat); err != nil {
+			if err := ship(*addr, h, recs, *batch, *flush, *maxUnack, *heartbeat, *wallbeat); err != nil {
 				fail(fmt.Errorf("%s: %w", h, err))
 			} else {
 				fmt.Printf("agent %s: shipped %d records\n", h, len(recs))
@@ -120,8 +125,12 @@ func run() error {
 }
 
 // ship runs one host's agent: offer every record in log order, heartbeat
-// on the host's own activity clock, then the CLOSE handshake.
-func ship(addr, host string, recs []*activity.Activity, batch int, flush time.Duration, maxUnack int, heartbeat time.Duration) error {
+// on the host's own activity clock, then the CLOSE handshake. With
+// wallbeat > 0 a real-time timer re-asserts the newest offered timestamp
+// too, so a host whose stream has gone quiet — or never produced a
+// record at all — keeps proving its agent is alive instead of stalling
+// the collector's liveness view.
+func ship(addr, host string, recs []*activity.Activity, batch int, flush time.Duration, maxUnack int, heartbeat, wallbeat time.Duration) error {
 	a, err := transport.NewAgent(transport.AgentConfig{
 		Addr: addr, Host: host,
 		BatchSize: batch, FlushInterval: flush, MaxUnacked: maxUnack,
@@ -132,10 +141,37 @@ func ship(addr, host string, recs []*activity.Activity, batch int, flush time.Du
 	if err != nil {
 		return err
 	}
+	// latest is the newest activity timestamp this agent has offered; the
+	// wall-clock timer re-asserts it. Re-asserting is always safe: the
+	// session treats a heartbeat as "nothing older than ts will follow"
+	// and ignores regressions, so even a beat that races a concurrent
+	// Record only repeats an already-made promise.
+	var latest atomic.Int64
+	if wallbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(wallbeat)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if err := a.Heartbeat(time.Duration(latest.Load())); err != nil {
+						return // agent dead or closed; the main loop surfaces it
+					}
+				}
+			}
+		}()
+	}
 	var lastBeat time.Duration
 	for _, r := range recs {
 		if err := a.Record(r); err != nil {
 			return err
+		}
+		if r.Timestamp > time.Duration(latest.Load()) {
+			latest.Store(int64(r.Timestamp))
 		}
 		if heartbeat > 0 && r.Timestamp >= lastBeat+heartbeat {
 			lastBeat = r.Timestamp

@@ -149,4 +149,52 @@
 // Delivered column is raw transport progress, fed by
 // core.IngestOptions.OnApplied), and a too-late return is absorbed as
 // Result.LateLinks.
+//
+// # The identity layer
+//
+// Every activity names its identities twice. The strings — hostname,
+// program, the two endpoint IPs — exist for the render and report edges,
+// and for nothing else. The hot path runs on dense symbols: both codecs
+// (the text parser and the binary decoder) bind each record against the
+// process-wide interner (activity.Syms) at the decode boundary, filling
+// its packed key forms activity.CtxKey and activity.ChanKey. Everything
+// between decode and CAG emission — the flow partition's union-find, the
+// engine's message map, the session's per-host state, the live monitor's
+// lag tables — keys on those flat integer structs; hashing one is a
+// memhash over a few words, and the interner canonicalizes the strings
+// so a million records share one copy of "web1" instead of pinning a
+// million log-line buffers.
+//
+// Only the bounded identity vocabulary is interned, never the unbounded
+// tuples: ephemeral ports make the channel space grow with connection
+// count, so ChanKey is a self-contained packed struct (its Reverse is a
+// field swap), and a forever-open collector's interner stays
+// deployment-sized while flow.Incremental prunes per-channel state.
+// Consumers that meet a hand-built record call activity.Bind lazily —
+// binding is idempotent — so symbols are consistent process-wide
+// regardless of where a record entered. One determinism rule follows:
+// symbol numeric order is interning order, an accident of arrival, so
+// any output ordering sorts by the interned string (Syms.Name), never by
+// symbol value.
+//
+// # Batched ingest and record ownership
+//
+// Session.PushBatch feeds a run of records in order as one call — the
+// shape a decoded transport frame arrives in — and core.Ingest.PushBatch
+// moves a whole frame through the bounded queue as one operation instead
+// of one hop per record. Batching changes only the queue traffic: the
+// ingest goroutine applies batch records individually with the same
+// drain cadence as single pushes, so a batched stream's output stays
+// byte-identical to its unbatched equivalent. Errors remain sticky per
+// host; the first failure silences the rest of that host's records
+// within the batch and leaves other hosts untouched.
+//
+// Ownership is part of the contract. The collector decodes every frame
+// into pooled records (activity.NewRecord), the session copies whatever
+// it keeps at apply time, and IngestOptions.Release — wired to
+// activity.ReleaseRecord in the networked deployment — returns each
+// batch record to the pool once the ingest goroutine is done with it,
+// applied or skipped. A PushBatch caller owns neither the slice nor the
+// records after the call succeeds; single-record Push callers keep
+// ownership of theirs.
 package repro

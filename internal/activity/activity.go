@@ -120,6 +120,14 @@ type Activity struct {
 	Chan      Channel
 	Size      int64
 
+	// CtxK and ChanK are the dense key forms of Ctx and Chan (see
+	// symbols.go), filled by Bind at the decode boundary and used as the
+	// map/union-find keys on every hot path. They are derived, carry no
+	// information of their own, and stay zero on hand-built records until
+	// a consumer binds them lazily.
+	CtxK  CtxKey
+	ChanK ChanKey
+
 	// Ground truth, available only when the trace was produced by the
 	// simulated testbed (the real system would not have these). ReqID is the
 	// request that caused the activity (-1 when unknown/noise), MsgID the

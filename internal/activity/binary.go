@@ -60,33 +60,53 @@ func AppendBinary(buf []byte, a *Activity) []byte {
 // record and the number of bytes consumed. It errors (never panics) on
 // truncated or malformed input.
 func DecodeBinary(buf []byte) (*Activity, int, error) {
-	d := binDecoder{buf: buf}
 	a := &Activity{}
+	n, err := DecodeBinaryInto(a, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, n, nil
+}
+
+// DecodeBinaryInto decodes one record from the front of buf into *a
+// (overwriting every field), returning the number of bytes consumed. It
+// is the allocation-free decode boundary: identity strings resolve to
+// their interned canonical copies (no per-record string allocation once
+// the vocabulary is warm) and the dense keys come out bound, so a pooled
+// record (NewRecord) can be reused across frames.
+func DecodeBinaryInto(a *Activity, buf []byte) (int, error) {
+	d := binDecoder{buf: buf}
+	*a = Activity{}
 	t := d.byte()
 	if t < byte(Begin) || t > byte(Receive) {
 		if d.err == nil {
 			d.err = fmt.Errorf("activity: bad binary type tag %d", t)
 		}
-		return nil, 0, d.err
+		return 0, d.err
 	}
 	a.Type = Type(t)
 	a.Timestamp = time.Duration(d.varint())
-	a.Ctx.Host = d.string()
-	a.Ctx.Program = d.string()
+	a.Ctx.Host, a.CtxK.Host = d.symString()
+	a.Ctx.Program, a.CtxK.Prog = d.symString()
 	a.Ctx.PID = int(d.varint())
 	a.Ctx.TID = int(d.varint())
-	a.Chan.Src.IP = d.string()
+	a.Chan.Src.IP, a.ChanK.SrcIP = d.symString()
 	a.Chan.Src.Port = int(d.port())
-	a.Chan.Dst.IP = d.string()
+	a.Chan.Dst.IP, a.ChanK.DstIP = d.symString()
 	a.Chan.Dst.Port = int(d.port())
 	a.Size = d.varint()
 	a.ID = d.varint()
 	a.ReqID = d.varint()
 	a.MsgID = d.varint()
 	if d.err != nil {
-		return nil, 0, d.err
+		*a = Activity{}
+		return 0, d.err
 	}
-	return a, d.off, nil
+	a.CtxK.PID = int32(a.Ctx.PID)
+	a.CtxK.TID = int32(a.Ctx.TID)
+	a.ChanK.SrcPort = int32(a.Chan.Src.Port)
+	a.ChanK.DstPort = int32(a.Chan.Dst.Port)
+	return d.off, nil
 }
 
 func appendBinaryString(buf []byte, s string) []byte {
@@ -156,16 +176,20 @@ func (d *binDecoder) port() uint64 {
 	return v
 }
 
-func (d *binDecoder) string() string {
+// symString reads a string and interns it in one step: on the hit path
+// the raw bytes index the interner's map directly, so no copy of the
+// string is allocated.
+func (d *binDecoder) symString() (string, Sym) {
 	n := d.uvarint()
 	if d.err != nil {
-		return ""
+		return "", 0
 	}
 	if n > maxBinaryString || int(n) > len(d.buf)-d.off {
 		d.fail("string")
-		return ""
+		return "", 0
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
+	b := d.buf[d.off : d.off+int(n)]
 	d.off += int(n)
-	return s
+	sym, s := Syms.internBytes(b)
+	return s, sym
 }

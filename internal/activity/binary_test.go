@@ -22,8 +22,16 @@ func binSample() *Activity {
 	}
 }
 
-func TestBinaryRoundTrip(t *testing.T) {
+// boundSample is binSample with the dense keys filled — what DecodeBinary
+// emits, since the binary codec binds at the decode boundary.
+func boundSample() *Activity {
 	a := binSample()
+	Bind(a)
+	return a
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	a := boundSample()
 	buf := AppendBinary(nil, a)
 	got, n, err := DecodeBinary(buf)
 	if err != nil {
@@ -43,7 +51,7 @@ func TestBinaryStream(t *testing.T) {
 	var recs []*Activity
 	var buf []byte
 	for i := 0; i < 10; i++ {
-		a := binSample()
+		a := boundSample()
 		a.ID = int64(i)
 		a.Timestamp += time.Duration(i) * time.Millisecond
 		recs = append(recs, a)
@@ -109,6 +117,7 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 			Size: size, ReqID: req, MsgID: msg,
 		}
 		buf := AppendBinary(nil, a)
+		Bind(a) // decode emits bound records; bind the expectation too
 		got, n, err := DecodeBinary(buf)
 		if err != nil {
 			t.Fatalf("decode of own encoding failed: %v", err)

@@ -157,6 +157,9 @@ func ParseRecord(line string) (*Activity, error) {
 			return nil, err
 		}
 	}
+	// Decode boundary: intern the identity strings (canonical copies stop
+	// the record from pinning the parsed line) and fill the dense keys.
+	Bind(a)
 	return a, nil
 }
 

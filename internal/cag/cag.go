@@ -60,6 +60,28 @@ type Vertex struct {
 	children  []childEdge
 
 	index int // position within the owning graph's vertex slice
+
+	// rec0 and child0 are inline backing storage for the common case —
+	// nearly every vertex holds exactly one raw record and at most two
+	// out-edges, so NewVertex and link can avoid a per-vertex slice
+	// allocation. Appends beyond the inline capacity reallocate normally.
+	rec0   [1]*activity.Activity
+	child0 [2]childEdge
+}
+
+// NewVertex returns a vertex representing a single raw record, with
+// Records backed by the vertex itself (no separate slice allocation).
+func NewVertex(a *activity.Activity) *Vertex {
+	v := &Vertex{
+		Type:      a.Type,
+		Timestamp: a.Timestamp,
+		Ctx:       a.Ctx,
+		Chan:      a.Chan,
+		Size:      a.Size,
+	}
+	v.rec0[0] = a
+	v.Records = v.rec0[:1]
+	return v
 }
 
 type childEdge struct {
@@ -125,7 +147,10 @@ var (
 func New(root *Vertex) *Graph {
 	g := &Graph{}
 	root.index = 0
-	g.vertices = append(g.vertices, root)
+	// Typical request graphs run a dozen-plus vertices; starting at a
+	// useful capacity skips the first few append growth steps.
+	g.vertices = make([]*Vertex, 1, 8)
+	g.vertices[0] = root
 	return g
 }
 
@@ -205,6 +230,9 @@ func (g *Graph) link(kind EdgeKind, parent, child *Vertex) error {
 		child.msgParent = parent
 	default:
 		return fmt.Errorf("cag: unknown edge kind %v", kind)
+	}
+	if parent.children == nil {
+		parent.children = parent.child0[:0]
 	}
 	parent.children = append(parent.children, childEdge{kind: kind, to: child})
 	return nil

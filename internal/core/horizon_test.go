@@ -67,6 +67,18 @@ func pushLaggingScenario(t *testing.T, sess *Session) (finish func()) {
 
 // spansBothHosts reports whether a CAG contains records from both web1
 // and db1 — the intact cross-host request.
+// contribHas reports whether host is a tracked contributor of the
+// component (the contrib list is Sym-keyed).
+func contribHas(c *sessComponent, host string) bool {
+	sym := activity.Syms.Intern(host)
+	for _, h := range c.contrib {
+		if h == sym {
+			return true
+		}
+	}
+	return false
+}
+
 func spansBothHosts(g *cag.Graph) bool {
 	hosts := make(map[string]bool)
 	for _, v := range g.Vertices() {
@@ -97,10 +109,8 @@ func TestSessionPerHostHorizonNoSplit(t *testing.T) {
 	}
 	crossAlive := false
 	for _, c := range ps.comps {
-		if !c.sealed {
-			if _, ok := c.hosts["db1"]; ok {
-				crossAlive = true
-			}
+		if !c.sealed && contribHas(c, "db1") {
+			crossAlive = true
 		}
 	}
 	if !crossAlive {
@@ -150,7 +160,7 @@ func TestSessionGlobalHorizonSplits(t *testing.T) {
 	finish := pushLaggingScenario(t, sess)
 	ps := sess.impl.(*streamSession)
 	for _, c := range ps.comps {
-		if _, ok := c.hosts["db1"]; ok && !c.sealed {
+		if contribHas(c, "db1") && !c.sealed {
 			t.Fatal("global horizon left the lagging request's component alive")
 		}
 	}

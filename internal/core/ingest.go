@@ -39,6 +39,14 @@ type IngestOptions struct {
 	// goroutine that fires the session's OnGraph, so a live.Monitor may be
 	// driven from both without extra locking.
 	OnApplied func(host string, ts time.Duration)
+
+	// Release, when non-nil, receives every PushBatch record once the
+	// ingest goroutine is done with it (applied, or skipped on an error) —
+	// the hook that returns pooled decode-side records to their pool
+	// (activity.ReleaseRecord). The session has copied whatever it keeps
+	// by then. Single-record Push callers keep ownership of their records;
+	// only batched records are released.
+	Release func(a *activity.Activity)
 }
 
 // Ingest is the serialized front of a Session: Sessions demand
@@ -72,6 +80,7 @@ type ingestOpKind uint8
 
 const (
 	opRecord ingestOpKind = iota
+	opBatch
 	opHeartbeat
 	opCloseHost
 	opSync
@@ -80,6 +89,7 @@ const (
 type ingestOp struct {
 	kind  ingestOpKind
 	rec   *activity.Activity
+	recs  []*activity.Activity // opBatch
 	host  string
 	ts    time.Duration
 	reply chan error // opCloseHost, opSync
@@ -113,6 +123,33 @@ func (in *Ingest) Push(a *activity.Activity) error {
 		return err
 	}
 	return in.send(ingestOp{kind: opRecord, rec: a, host: a.Ctx.Host})
+}
+
+// PushBatch offers a whole run of records — typically one decoded
+// transport frame — as a single queue operation, blocking while the
+// queue is full. The records are applied in order on the ingest
+// goroutine with the same drain cadence as individual pushes, so a
+// batched stream is indistinguishable from its unbatched equivalent. An
+// error during application becomes the host's sticky error and the rest
+// of that host's records in the batch are skipped; other hosts' records
+// are unaffected. The ingest takes ownership of the batch slice and its
+// records until Release has been called for each record.
+func (in *Ingest) PushBatch(recs []*activity.Activity) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	// Pre-check sticky errors per distinct host (batches are almost
+	// always single-host: one agent connection per host).
+	last := ""
+	for _, a := range recs {
+		if a.Ctx.Host != last {
+			if err := in.stickyErr(a.Ctx.Host); err != nil {
+				return err
+			}
+			last = a.Ctx.Host
+		}
+	}
+	return in.send(ingestOp{kind: opBatch, recs: recs})
 }
 
 // Heartbeat offers a liveness assertion for host (see Session.Heartbeat).
@@ -221,6 +258,9 @@ func (in *Ingest) apply(op ingestOp, sinceDrain *int) {
 		if err == nil && in.opts.OnApplied != nil {
 			in.opts.OnApplied(op.host, op.rec.Timestamp)
 		}
+	case opBatch:
+		in.applyBatch(op.recs, sinceDrain)
+		return
 	case opHeartbeat:
 		err = in.session.Heartbeat(op.host, op.ts)
 		if err == nil && in.opts.OnApplied != nil {
@@ -248,5 +288,51 @@ func (in *Ingest) apply(op ingestOp, sinceDrain *int) {
 			in.session.Drain()
 			*sinceDrain = 0
 		}
+	}
+}
+
+// applyBatch applies one PushBatch run record by record, preserving the
+// exact drain cadence of individually pushed records — a batched stream
+// must stay byte-identical to its unbatched equivalent. The first error
+// of a host becomes its sticky error and silences the rest of that
+// host's records within the batch; every record is handed to Release
+// once it is done with (the session copied what it kept).
+func (in *Ingest) applyBatch(recs []*activity.Activity, sinceDrain *int) {
+	var erred []string // hosts errored within this batch (almost always ≤ 1)
+	skip := func(host string) bool {
+		for _, h := range erred {
+			if h == host {
+				return true
+			}
+		}
+		return false
+	}
+	for _, rec := range recs {
+		host := rec.Ctx.Host
+		if skip(host) {
+			in.release(rec)
+			continue
+		}
+		if err := in.session.Push(rec); err != nil {
+			in.recordErr(host, err)
+			erred = append(erred, host)
+			in.release(rec)
+			continue
+		}
+		if in.opts.OnApplied != nil {
+			in.opts.OnApplied(host, rec.Timestamp)
+		}
+		in.release(rec)
+		*sinceDrain++
+		if *sinceDrain >= in.opts.DrainEvery {
+			in.session.Drain()
+			*sinceDrain = 0
+		}
+	}
+}
+
+func (in *Ingest) release(a *activity.Activity) {
+	if in.opts.Release != nil {
+		in.opts.Release(a)
 	}
 }

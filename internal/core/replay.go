@@ -52,9 +52,9 @@ func (c *Correlator) replayTrace(trace []*activity.Activity) (*Result, error) {
 		every = replayDrainEvery
 	}
 	for i, a := range trace {
-		cp := *a
+		cp := s.copyRec(a)
 		cp.Type = cls.Classify(a)
-		s.replayPush(&cp)
+		s.replayPush(cp)
 		if every > 0 && (i+1)%every == 0 {
 			s.Drain()
 		}

@@ -49,6 +49,7 @@ type Session struct {
 // thin façade so NewSession can pick the mode from Options.
 type sessionImpl interface {
 	Push(a *activity.Activity) error
+	PushBatch(batch []*activity.Activity) error
 	Drain() int
 	CloseHost(host string) error
 	Heartbeat(host string, ts time.Duration) error
@@ -95,6 +96,14 @@ func NewSession(opts Options, hosts []string) (*Session, error) {
 // Records of one host must arrive in that host's local-clock order; hosts
 // interleave arbitrarily.
 func (s *Session) Push(a *activity.Activity) error { return s.impl.Push(a) }
+
+// PushBatch feeds a run of raw records in order, as one call — the shape
+// a decoded transport frame arrives in. It is equivalent to calling Push
+// per record: application stops at the first error, which is returned,
+// and the records before it stay applied. The session copies what it
+// keeps, so the caller may recycle the batch's records afterwards
+// (activity.ReleaseRecord for pooled decode-side records).
+func (s *Session) PushBatch(batch []*activity.Activity) error { return s.impl.PushBatch(batch) }
 
 // Drain runs the correlator until no further candidate is safely
 // decidable, returning the number of activities processed this call: it
@@ -198,6 +207,16 @@ func (g *globalSession) Push(a *activity.Activity) error {
 	g.perHost[cp.Ctx.Host] = append(g.perHost[cp.Ctx.Host], &cp)
 	g.last[cp.Ctx.Host] = cp.Timestamp
 	g.pushed++
+	return nil
+}
+
+// PushBatch implements sessionImpl.
+func (g *globalSession) PushBatch(batch []*activity.Activity) error {
+	for _, a := range batch {
+		if err := g.Push(a); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -61,6 +61,12 @@ import (
 // activity can only extend a component from a host owning one of the
 // component's channel endpoints. Unresolvable endpoints are treated as
 // untraced, exactly like the ranker treats them.
+//
+// Identity handling: records are bound (activity.Bind) on the way in, so
+// every internal table — host streams, component buffers, endpoint
+// resolution — keys on dense symbols and packed keys, never on strings.
+// Host names reappear only where output order or reporting needs them
+// (correlateComponent's sorted sources, error messages).
 type streamSession struct {
 	opts    Options
 	workers int         // normalized pool size (>= 1)
@@ -68,10 +74,23 @@ type streamSession struct {
 	cls     *activity.Classifier
 	inc     *flow.Incremental
 
-	hosts map[string]*sessHost
+	hosts map[activity.Sym]*sessHost
+
+	// ipHost resolves a channel endpoint's interned IP straight to the
+	// owning host's symbol — Options.IPToHost precomputed once, so the
+	// two endpoint resolutions every push performs are integer map hits
+	// instead of string lookups.
+	ipHost map[activity.Sym]activity.Sym
 
 	comps      map[int32]*sessComponent // keyed by current union-find root
 	nextCompID int
+
+	// slab is the block allocator for the per-push buffered copy: pushes
+	// carve records out of slabSize blocks instead of allocating one
+	// Activity each. A block is reclaimed when every graph referencing
+	// its records has been released — acceptable grouping, since records
+	// of one block arrive together and seal together.
+	slab []activity.Activity
 
 	queue      []*sessComponent // sealed, waiting for a jobs slot
 	jobs       chan *sessComponent
@@ -113,8 +132,24 @@ type streamSession struct {
 	final  *Result
 }
 
+// slabSize is how many buffered-copy records one slab block holds.
+const slabSize = 512
+
+// copyRec copies one record into the session's slab. The returned copy
+// is owned by the session (component buffers, then CAG vertices).
+func (s *streamSession) copyRec(a *activity.Activity) *activity.Activity {
+	if len(s.slab) == 0 {
+		s.slab = make([]activity.Activity, slabSize)
+	}
+	cp := &s.slab[0]
+	s.slab = s.slab[1:]
+	*cp = *a
+	return cp
+}
+
 // sessHost is one declared host's stream state.
 type sessHost struct {
+	name    string // interned canonical name, for errors and source labels
 	open    bool
 	any     bool // has pushed or heartbeated at least once
 	last    time.Duration
@@ -130,16 +165,59 @@ type pushRec struct {
 	seq uint64
 }
 
+// hostRun is one host's (timestamp, push-sequence)-ordered buffer within
+// a component. Components touch a handful of hosts, so a flat slice with
+// linear host lookup beats a map: no per-component map allocation, and
+// the runs are iterated far more often than they are searched.
+type hostRun struct {
+	host activity.Sym
+	recs []pushRec
+}
+
 // sessComponent is one growing flow component of the online partition.
 type sessComponent struct {
 	id      int // creation order: deterministic ordering fallback
 	minTs   time.Duration
 	maxTs   time.Duration // newest member: the staleness measure
 	size    int
-	perHost map[string][]pushRec
-	hosts   map[string]struct{} // declared hosts that may still extend it
+	runs    []hostRun      // buffered records, one run per contributing host
+	contrib []activity.Sym // declared hosts that may still extend it
 	sealed  bool
 	root    int32 // current union-find root
+
+	// runs0 and contrib0 are inline backing storage: most components
+	// touch one or two hosts, so the slices usually never leave the
+	// struct (same trick as cag.Vertex's inline record storage).
+	runs0    [2]hostRun
+	contrib0 [4]activity.Sym
+}
+
+func newSessComponent(id int, ts time.Duration, root int32) *sessComponent {
+	c := &sessComponent{id: id, minTs: ts, maxTs: ts, root: root}
+	c.runs = c.runs0[:0]
+	c.contrib = c.contrib0[:0]
+	return c
+}
+
+// appendRec buffers one record on the host's run.
+func (c *sessComponent) appendRec(h activity.Sym, r pushRec) {
+	for i := range c.runs {
+		if c.runs[i].host == h {
+			c.runs[i].recs = append(c.runs[i].recs, r)
+			return
+		}
+	}
+	c.runs = append(c.runs, hostRun{host: h, recs: append(make([]pushRec, 0, 4), r)})
+}
+
+// noteHost marks a declared host as a possible future contributor.
+func (c *sessComponent) noteHost(h activity.Sym) {
+	for _, x := range c.contrib {
+		if x == h {
+			return
+		}
+	}
+	c.contrib = append(c.contrib, h)
 }
 
 // sessShardResult is one sealed component's correlation output.
@@ -200,7 +278,7 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 		workers:    workers,
 		drv:        New(drvOpts),
 		cls:        activity.NewClassifier(opts.EntryPorts...),
-		hosts:      make(map[string]*sessHost, len(hosts)),
+		hosts:      make(map[activity.Sym]*sessHost, len(hosts)),
 		comps:      make(map[int32]*sessComponent),
 		jobs:       make(chan *sessComponent, 2*workers),
 		results:    make(chan sessShardResult, 2*workers),
@@ -214,8 +292,19 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 		s.inc.EnablePruning()
 	}
 	for _, h := range hosts {
-		if s.hosts[h] == nil {
-			s.hosts[h] = &sessHost{open: true, horizon: opts.horizonFor(h)}
+		sym := activity.Syms.Intern(h)
+		if s.hosts[sym] == nil {
+			s.hosts[sym] = &sessHost{
+				name:    activity.Syms.Name(sym),
+				open:    true,
+				horizon: opts.horizonFor(h),
+			}
+		}
+	}
+	if len(opts.IPToHost) > 0 {
+		s.ipHost = make(map[activity.Sym]activity.Sym, len(opts.IPToHost))
+		for ip, hn := range opts.IPToHost {
+			s.ipHost[activity.Syms.Intern(ip)] = activity.Syms.Intern(hn)
 		}
 	}
 	s.wg.Add(workers)
@@ -233,22 +322,27 @@ func (s *streamSession) worker() {
 }
 
 // correlateComponent runs the unmodified sequential pass over one sealed
-// component. Sources are built in sorted host order — the order the
-// global pass uses, which the deterministic tie-breaks rely on.
+// component. Sources are built in sorted host-name order — the order the
+// global pass uses, which the deterministic tie-breaks rely on. (Symbol
+// numeric order depends on interning order, so it is never used for
+// anything output-visible.)
 func (s *streamSession) correlateComponent(c *sessComponent) sessShardResult {
-	hosts := make([]string, 0, len(c.perHost))
-	for h := range c.perHost {
-		hosts = append(hosts, h)
+	type namedRun struct {
+		name string
+		recs []pushRec
 	}
-	sort.Strings(hosts)
-	sources := make([]ranker.Source, 0, len(hosts))
-	for _, h := range hosts {
-		recs := c.perHost[h]
-		as := make([]*activity.Activity, len(recs))
-		for i, r := range recs {
-			as[i] = r.a
+	runs := make([]namedRun, len(c.runs))
+	for i, r := range c.runs {
+		runs[i] = namedRun{name: activity.Syms.Name(r.host), recs: r.recs}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].name < runs[j].name })
+	sources := make([]ranker.Source, 0, len(runs))
+	for _, r := range runs {
+		as := make([]*activity.Activity, len(r.recs))
+		for i, pr := range r.recs {
+			as[i] = pr.a
 		}
-		sources = append(sources, ranker.NewSliceSource(h, as))
+		sources = append(sources, ranker.NewSliceSource(r.name, as))
 	}
 	rk, eng := s.drv.drive(sources)
 	return sessShardResult{
@@ -261,12 +355,17 @@ func (s *streamSession) correlateComponent(c *sessComponent) sessShardResult {
 }
 
 // Push implements sessionImpl: validate the stream contract, classify,
-// and ingest.
+// and ingest. The record is bound in place (idempotent) so the host
+// lookup and all downstream bookkeeping run on dense keys; the session
+// buffers its own slab copy, never the caller's record.
 func (s *streamSession) Push(a *activity.Activity) error {
 	if s.closed {
 		return fmt.Errorf("core: push on closed session")
 	}
-	h, ok := s.hosts[a.Ctx.Host]
+	if !a.CtxK.Bound() {
+		activity.Bind(a)
+	}
+	h, ok := s.hosts[a.CtxK.Host]
 	if !ok {
 		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", a.Ctx.Host)
 	}
@@ -276,9 +375,21 @@ func (s *streamSession) Push(a *activity.Activity) error {
 	if h.any && a.Timestamp < h.last {
 		return fmt.Errorf("core: %s timestamp regressed (%v after %v)", a.Ctx.Host, a.Timestamp, h.last)
 	}
-	cp := *a
+	cp := s.copyRec(a)
 	cp.Type = s.cls.Classify(a)
-	s.ingest(&cp, h)
+	s.ingest(cp, h)
+	return nil
+}
+
+// PushBatch implements sessionImpl: apply a run of records in order as
+// one call. Application stops at the first error, which is returned;
+// earlier records stay applied.
+func (s *streamSession) PushBatch(batch []*activity.Activity) error {
+	for _, a := range batch {
+		if err := s.Push(a); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -288,18 +399,22 @@ func (s *streamSession) Push(a *activity.Activity) error {
 // pass accepted per-host disorder too, producing whatever the ranker
 // makes of it).
 func (s *streamSession) replayPush(cp *activity.Activity) {
-	h := s.hosts[cp.Ctx.Host]
+	if !cp.CtxK.Bound() {
+		activity.Bind(cp)
+	}
+	h := s.hosts[cp.CtxK.Host]
 	if h == nil {
 		// A source whose records carry an undeclared host name: declare it
 		// on the fly; the replay closes every host before draining.
-		h = &sessHost{open: true, horizon: s.opts.horizonFor(cp.Ctx.Host)}
-		s.hosts[cp.Ctx.Host] = h
+		h = &sessHost{name: cp.Ctx.Host, open: true, horizon: s.opts.horizonFor(cp.Ctx.Host)}
+		s.hosts[cp.CtxK.Host] = h
 	}
 	s.ingest(cp, h)
 }
 
 // ingest assigns one classified activity to its flow component and
-// buffers it in per-host push order. The caller owns cp.
+// buffers it in per-host push order. The caller owns cp, which must be
+// bound.
 func (s *streamSession) ingest(cp *activity.Activity, h *sessHost) {
 	root := s.inc.Add(cp)
 	c := s.comps[root]
@@ -307,18 +422,11 @@ func (s *streamSession) ingest(cp *activity.Activity, h *sessHost) {
 		// sealed here means a late link reached an already-dispatched
 		// component (possible only with an incomplete IPToHost map);
 		// start a fresh shard rather than touching in-flight buffers.
-		c = &sessComponent{
-			id:      s.nextCompID,
-			minTs:   cp.Timestamp,
-			maxTs:   cp.Timestamp,
-			perHost: make(map[string][]pushRec),
-			hosts:   make(map[string]struct{}),
-			root:    root,
-		}
+		c = newSessComponent(s.nextCompID, cp.Timestamp, root)
 		s.nextCompID++
 		s.comps[root] = c
 	}
-	c.perHost[cp.Ctx.Host] = append(c.perHost[cp.Ctx.Host], pushRec{a: cp, seq: h.seq})
+	c.appendRec(cp.CtxK.Host, pushRec{a: cp, seq: h.seq})
 	if cp.Timestamp < c.minTs {
 		c.minTs = cp.Timestamp
 	}
@@ -329,9 +437,9 @@ func (s *streamSession) ingest(cp *activity.Activity, h *sessHost) {
 		s.maxTs = cp.Timestamp
 	}
 	c.size++
-	c.hosts[cp.Ctx.Host] = struct{}{}
-	s.noteEndpoint(c, cp.Chan.Src.IP)
-	s.noteEndpoint(c, cp.Chan.Dst.IP)
+	c.noteHost(cp.CtxK.Host)
+	s.noteEndpoint(c, cp.ChanK.SrcIP)
+	s.noteEndpoint(c, cp.ChanK.DstIP)
 	h.seq++
 	if cp.Timestamp > h.last || !h.any {
 		h.last = cp.Timestamp
@@ -351,7 +459,7 @@ func (s *streamSession) Heartbeat(host string, ts time.Duration) error {
 	if s.closed {
 		return fmt.Errorf("core: heartbeat on closed session")
 	}
-	h, ok := s.hosts[host]
+	h, ok := s.hosts[activity.Syms.Intern(host)]
 	if !ok {
 		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", host)
 	}
@@ -370,10 +478,10 @@ func (s *streamSession) Heartbeat(host string, ts time.Duration) error {
 
 // noteEndpoint records a channel endpoint's owning host as a possible
 // future contributor to the component.
-func (s *streamSession) noteEndpoint(c *sessComponent, ip string) {
-	if hn, ok := s.opts.IPToHost[ip]; ok {
+func (s *streamSession) noteEndpoint(c *sessComponent, ip activity.Sym) {
+	if hn, ok := s.ipHost[ip]; ok {
 		if _, declared := s.hosts[hn]; declared {
-			c.hosts[hn] = struct{}{}
+			c.noteHost(hn)
 		}
 	}
 }
@@ -421,11 +529,22 @@ func (s *streamSession) fuse(a, b *sessComponent, root int32) *sessComponent {
 	if b.size > a.size {
 		a, b = b, a
 	}
-	for h, src := range b.perHost {
-		a.perHost[h] = mergeRuns(a.perHost[h], src)
+	for i := range b.runs {
+		br := &b.runs[i]
+		merged := false
+		for j := range a.runs {
+			if a.runs[j].host == br.host {
+				a.runs[j].recs = mergeRuns(a.runs[j].recs, br.recs)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			a.runs = append(a.runs, *br)
+		}
 	}
-	for h := range b.hosts {
-		a.hosts[h] = struct{}{}
+	for _, h := range b.contrib {
+		a.noteHost(h)
 	}
 	if b.minTs < a.minTs {
 		a.minTs = b.minTs
@@ -469,7 +588,7 @@ func mergeRuns(x, y []pushRec) []pushRec {
 // CloseHost implements sessionImpl: closing a stream is what seals
 // components and feeds the worker pool.
 func (s *streamSession) CloseHost(host string) error {
-	h, ok := s.hosts[host]
+	h, ok := s.hosts[activity.Syms.Intern(host)]
 	if !ok {
 		return fmt.Errorf("core: unknown host %q", host)
 	}
@@ -506,7 +625,7 @@ func (s *streamSession) sealCompleted() {
 // horizon, so only closure can seal the component.
 func (s *streamSession) compHorizon(c *sessComponent) time.Duration {
 	var horizon time.Duration
-	for hn := range c.hosts {
+	for _, hn := range c.contrib {
 		hh := s.hosts[hn]
 		if hh == nil || !hh.open {
 			continue
@@ -564,7 +683,7 @@ func (s *streamSession) enqueue(ready []*sessComponent) {
 // growable reports whether any still-open declared host could push an
 // activity joining this component.
 func (s *streamSession) growable(c *sessComponent) bool {
-	for hn := range c.hosts {
+	for _, hn := range c.contrib {
 		if hh := s.hosts[hn]; hh != nil && hh.open {
 			return true
 		}

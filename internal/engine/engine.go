@@ -47,6 +47,9 @@ type Stats struct {
 	ThreadReuseBreaks uint64 // context edge suppressed by the same-CAG check
 }
 
+// pendingSend is stored by value in mmap: one live message per channel,
+// mutated read-modify-write, so the per-SEND heap allocation of a
+// pointer-valued map is avoided entirely.
 type pendingSend struct {
 	vertex    *cag.Vertex
 	graph     *cag.Graph
@@ -59,10 +62,12 @@ type ctxEntry struct {
 	graph  *cag.Graph
 }
 
-// Engine builds CAGs from ranked candidate activities.
+// Engine builds CAGs from ranked candidate activities. Both index maps
+// key on the dense activity keys (activity.ChanKey / activity.CtxKey):
+// string-free fixed-width hashing on the per-candidate hot path.
 type Engine struct {
-	mmap map[activity.Channel]*pendingSend
-	cmap map[activity.Context]ctxEntry
+	mmap map[activity.ChanKey]pendingSend
+	cmap map[activity.CtxKey]ctxEntry
 
 	outputs []*cag.Graph
 	onGraph func(*cag.Graph)
@@ -87,8 +92,8 @@ func WithOutputFunc(fn func(*cag.Graph)) Option {
 // New returns an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		mmap: make(map[activity.Channel]*pendingSend),
-		cmap: make(map[activity.Context]ctxEntry),
+		mmap: make(map[activity.ChanKey]pendingSend),
+		cmap: make(map[activity.CtxKey]ctxEntry),
 	}
 	for _, o := range opts {
 		o(e)
@@ -99,9 +104,10 @@ func New(opts ...Option) *Engine {
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// HasPendingSend reports whether mmap holds an unmatched SEND for the given
-// channel — the query behind the ranker's Rule 1 and is_noise.
-func (e *Engine) HasPendingSend(ch activity.Channel) bool {
+// HasPendingSend reports whether mmap holds an unmatched SEND for the
+// given channel (by dense key) — the query behind the ranker's Rule 1 and
+// is_noise.
+func (e *Engine) HasPendingSend(ch activity.ChanKey) bool {
 	p, ok := e.mmap[ch]
 	return ok && p.remaining > 0
 }
@@ -111,7 +117,7 @@ func (e *Engine) HasPendingSend(ch activity.Channel) bool {
 // The ranker's size-aware Rule 1 uses it: a RECEIVE only becomes a
 // candidate once every SEND segment it covers has reached the engine,
 // otherwise the byte countdown of Fig. 4 would go negative.
-func (e *Engine) PendingBytes(ch activity.Channel) int64 {
+func (e *Engine) PendingBytes(ch activity.ChanKey) int64 {
 	p, ok := e.mmap[ch]
 	if !ok || p.remaining < 0 {
 		return 0
@@ -160,6 +166,11 @@ func (e *Engine) addResident(n int) {
 // Handle processes one candidate activity — one iteration of the Fig. 3
 // while loop. It returns the CAG finished by this activity, if any.
 func (e *Engine) Handle(a *activity.Activity) *cag.Graph {
+	if !a.CtxK.Bound() {
+		// Hand-built records reach the engine unbound; decode-boundary
+		// records arrive with their keys already filled.
+		activity.Bind(a)
+	}
 	switch a.Type {
 	case activity.Begin:
 		e.handleBegin(a)
@@ -180,7 +191,7 @@ func (e *Engine) Handle(a *activity.Activity) *cag.Graph {
 // classified BEGIN; the trailing segments merge into the root the same way
 // Fig. 4 merges SEND segments.
 func (e *Engine) handleBegin(a *activity.Activity) {
-	if parent, ok := e.cmap[a.Ctx]; ok && !parent.graph.Finished() &&
+	if parent, ok := e.cmap[a.CtxK]; ok && !parent.graph.Finished() &&
 		parent.vertex.Type == activity.Begin && parent.vertex.Chan == a.Chan &&
 		parent.graph.Len() == 1 {
 		parent.vertex.Size += a.Size
@@ -188,16 +199,16 @@ func (e *Engine) handleBegin(a *activity.Activity) {
 		e.stats.MergedBegins++
 		return
 	}
-	v := newVertex(a)
+	v := cag.NewVertex(a)
 	g := cag.New(v)
-	e.cmap[a.Ctx] = ctxEntry{vertex: v, graph: g}
+	e.cmap[a.CtxK] = ctxEntry{vertex: v, graph: g}
 	e.stats.Begins++
 	e.addResident(1)
 }
 
 // handleEnd: lines 5–11 — attach via the context relation and output.
 func (e *Engine) handleEnd(a *activity.Activity) *cag.Graph {
-	parent, ok := e.cmap[a.Ctx]
+	parent, ok := e.cmap[a.CtxK]
 	if !ok {
 		e.stats.DiscardedEnds++
 		return nil
@@ -215,7 +226,7 @@ func (e *Engine) handleEnd(a *activity.Activity) *cag.Graph {
 		e.stats.DiscardedEnds++
 		return nil
 	}
-	v := newVertex(a)
+	v := cag.NewVertex(a)
 	if err := parent.graph.AddVertex(v, cag.ContextEdge, parent.vertex); err != nil {
 		e.stats.DiscardedEnds++
 		return nil
@@ -224,7 +235,7 @@ func (e *Engine) handleEnd(a *activity.Activity) *cag.Graph {
 		e.stats.DiscardedEnds++
 		return nil
 	}
-	e.cmap[a.Ctx] = ctxEntry{vertex: v, graph: parent.graph}
+	e.cmap[a.CtxK] = ctxEntry{vertex: v, graph: parent.graph}
 	e.stats.Finished++
 	g := parent.graph
 	e.addResident(1)
@@ -241,7 +252,7 @@ func (e *Engine) handleEnd(a *activity.Activity) *cag.Graph {
 // the same message (same context, same channel) or materialise a new SEND
 // vertex hanging off the context parent.
 func (e *Engine) handleSend(a *activity.Activity) {
-	parent, ok := e.cmap[a.Ctx]
+	parent, ok := e.cmap[a.CtxK]
 	if !ok || parent.graph.Finished() {
 		// No context parent: nothing caused this send within a traced
 		// request — noise that slipped past the ranker's filters.
@@ -252,24 +263,25 @@ func (e *Engine) handleSend(a *activity.Activity) {
 		// Line 15–16: consecutive SEND segments of one message — merge.
 		parent.vertex.Size += a.Size
 		parent.vertex.Records = append(parent.vertex.Records, a)
-		if p, ok := e.mmap[a.Chan]; ok && p.vertex == parent.vertex {
+		if p, ok := e.mmap[a.ChanK]; ok && p.vertex == parent.vertex {
 			p.remaining += a.Size
+			e.mmap[a.ChanK] = p
 		}
 		e.stats.MergedSends++
 		return
 	}
-	v := newVertex(a)
+	v := cag.NewVertex(a)
 	if err := parent.graph.AddVertex(v, cag.ContextEdge, parent.vertex); err != nil {
 		e.stats.DiscardedSends++
 		return
 	}
-	e.cmap[a.Ctx] = ctxEntry{vertex: v, graph: parent.graph}
-	if old, ok := e.mmap[a.Chan]; ok && old.remaining > 0 {
+	e.cmap[a.CtxK] = ctxEntry{vertex: v, graph: parent.graph}
+	if old, ok := e.mmap[a.ChanK]; ok && old.remaining > 0 {
 		// A fresh message started on a channel whose previous message was
 		// never fully received: only possible with activity loss.
 		e.stats.ReplacedSends++
 	}
-	e.mmap[a.Chan] = &pendingSend{vertex: v, graph: parent.graph, remaining: a.Size}
+	e.mmap[a.ChanK] = pendingSend{vertex: v, graph: parent.graph, remaining: a.Size}
 	e.stats.Sends++
 	e.addResident(1)
 }
@@ -279,7 +291,7 @@ func (e *Engine) handleSend(a *activity.Activity) {
 // the context edge only if both parents sit in the same CAG (thread-reuse
 // check).
 func (e *Engine) handleReceive(a *activity.Activity) {
-	p, ok := e.mmap[a.Chan]
+	p, ok := e.mmap[a.ChanK]
 	if !ok || p.remaining <= 0 {
 		e.stats.DiscardedReceives++
 		return
@@ -288,6 +300,7 @@ func (e *Engine) handleReceive(a *activity.Activity) {
 	if p.remaining > 0 {
 		p.partial = append(p.partial, a)
 		e.stats.PartialReceives++
+		e.mmap[a.ChanK] = p
 		return
 	}
 	if p.remaining < 0 {
@@ -295,7 +308,7 @@ func (e *Engine) handleReceive(a *activity.Activity) {
 	}
 	// Message fully received: the RECEIVE vertex's representative timestamp
 	// is the completing segment's (data available to the application now).
-	v := newVertex(a)
+	v := cag.NewVertex(a)
 	v.Size = p.vertex.Size
 	if len(p.partial) > 0 {
 		v.Records = append(append([]*activity.Activity{}, p.partial...), a)
@@ -304,7 +317,7 @@ func (e *Engine) handleReceive(a *activity.Activity) {
 		e.stats.DiscardedReceives++
 		return
 	}
-	if parentCtx, ok := e.cmap[a.Ctx]; ok {
+	if parentCtx, ok := e.cmap[a.CtxK]; ok {
 		// Lines 29–32: same-CAG check defeats thread-pool reuse.
 		if p.graph.Contains(parentCtx.vertex) {
 			if err := p.graph.AddEdge(cag.ContextEdge, parentCtx.vertex, v); err != nil {
@@ -314,21 +327,10 @@ func (e *Engine) handleReceive(a *activity.Activity) {
 			e.stats.ThreadReuseBreaks++
 		}
 	}
-	e.cmap[a.Ctx] = ctxEntry{vertex: v, graph: p.graph}
-	delete(e.mmap, a.Chan)
+	e.cmap[a.CtxK] = ctxEntry{vertex: v, graph: p.graph}
+	delete(e.mmap, a.ChanK)
 	e.stats.Receives++
 	e.addResident(1)
-}
-
-func newVertex(a *activity.Activity) *cag.Vertex {
-	return &cag.Vertex{
-		Type:      a.Type,
-		Timestamp: a.Timestamp,
-		Ctx:       a.Ctx,
-		Chan:      a.Chan,
-		Size:      a.Size,
-		Records:   []*activity.Activity{a},
-	}
 }
 
 // String implements fmt.Stringer.

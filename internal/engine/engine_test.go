@@ -180,18 +180,25 @@ func TestEndWithoutContextDiscarded(t *testing.T) {
 	}
 }
 
+// chanKey builds the dense key for a channel the way Bind would.
+func chanKey(ch activity.Channel) activity.ChanKey {
+	a := activity.Activity{Chan: ch, Ctx: activity.Context{Host: "h"}}
+	activity.Bind(&a)
+	return a.ChanK
+}
+
 func TestHasPendingSend(t *testing.T) {
 	e := New()
-	if e.HasPendingSend(webApp) {
+	if e.HasPendingSend(chanKey(webApp)) {
 		t.Fatal("empty engine should have no pending send")
 	}
 	e.Handle(act(activity.Begin, 0, httpdCtx, clientCh, 200, 1))
 	e.Handle(act(activity.Send, 2, httpdCtx, webApp, 300, 1))
-	if !e.HasPendingSend(webApp) {
+	if !e.HasPendingSend(chanKey(webApp)) {
 		t.Fatal("pending send should be visible")
 	}
 	e.Handle(act(activity.Receive, 5, javaCtx, webApp, 300, 1))
-	if e.HasPendingSend(webApp) {
+	if e.HasPendingSend(chanKey(webApp)) {
 		t.Fatal("fully received send should be cleared")
 	}
 }

@@ -129,6 +129,20 @@ func (c *Component) HostRuns() [][]*activity.Activity {
 	return runs
 }
 
+// hostSyms sorts host symbols by their interned names — the deterministic
+// host order every partition variant scans in (dense keys bucket the
+// hosts, strings still define the order).
+func hostSyms(byHost map[activity.Sym][]*activity.Activity) []activity.Sym {
+	hosts := make([]activity.Sym, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool {
+		return activity.Syms.Name(hosts[i]) < activity.Syms.Name(hosts[j])
+	})
+	return hosts
+}
+
 // Partition splits a classified trace into independent components. The
 // result is deterministic for a given input order: components are sorted
 // by (earliest member timestamp, first appearance in the host-major scan),
@@ -148,17 +162,20 @@ func Partition(trace []*activity.Activity, mode Mode) []Component {
 }
 
 // splitHosts buckets a merged trace into per-host node logs in
-// local-timestamp order and returns the sorted host list — the paper's
-// step 1 (each node log sorted by its local clock).
-func splitHosts(trace []*activity.Activity) (map[string][]*activity.Activity, []string) {
-	byHost := make(map[string][]*activity.Activity)
+// local-timestamp order and returns the host list sorted by name — the
+// paper's step 1 (each node log sorted by its local clock). It is also
+// the batch path's bind point: every record leaves with its dense keys
+// filled, so the per-host scans that follow (possibly concurrent) only
+// read them.
+func splitHosts(trace []*activity.Activity) (map[activity.Sym][]*activity.Activity, []activity.Sym) {
+	byHost := make(map[activity.Sym][]*activity.Activity)
 	for _, a := range trace {
-		byHost[a.Ctx.Host] = append(byHost[a.Ctx.Host], a)
+		if !a.CtxK.Bound() {
+			activity.Bind(a)
+		}
+		byHost[a.CtxK.Host] = append(byHost[a.CtxK.Host], a)
 	}
-	hosts := make([]string, 0, len(byHost))
-	for h := range byHost {
-		hosts = append(hosts, h)
-		log := byHost[h]
+	for _, log := range byHost {
 		// Node logs split from a merged trace are almost always already in
 		// local order; checking is ~10× cheaper than re-sorting. The
 		// fallback must be ranker.SortByTimestamp — shard-local source
@@ -170,8 +187,7 @@ func splitHosts(trace []*activity.Activity) (map[string][]*activity.Activity, []
 			}
 		}
 	}
-	sort.Strings(hosts)
-	return byHost, hosts
+	return byHost, hostSyms(byHost)
 }
 
 // group buckets the host-major scan by final union-find root, tracking

@@ -43,9 +43,9 @@ import (
 type Incremental struct {
 	mode    Mode
 	d       dsu
-	dir     map[activity.Channel]*chanInfo
-	epoch   map[activity.Context]int32 // ModeFlow: current request epoch
-	ctxNode map[activity.Context]int32 // ModeContext: whole-lifetime node
+	dir     map[activity.ChanKey]chanInfo
+	epoch   map[activity.CtxKey]int32 // ModeFlow: current request epoch
+	ctxNode map[activity.CtxKey]int32 // ModeContext: whole-lifetime node
 	onMerge func(winner, loser int32)
 
 	keys       map[int32]*compKeys // root -> keys for Prune; nil = untracked
@@ -65,7 +65,8 @@ type pendingPrune struct {
 // chanInfo is the interned view of one directed channel: the union-find
 // node shared by both directions of the connection, and whether any
 // SEND/END was logged in this direction so far (a RECEIVE on a send-less
-// direction is inert — the engine can never match it).
+// direction is inert — the engine can never match it). Stored by value in
+// dir (read-modify-write), so interning a direction allocates nothing.
 type chanInfo struct {
 	node    int32
 	sendful bool
@@ -76,8 +77,8 @@ type chanInfo struct {
 // go stale (a context's epoch moves to another root); Prune re-resolves
 // each key before deleting.
 type compKeys struct {
-	chans []activity.Channel
-	ctxs  []activity.Context
+	chans []activity.ChanKey
+	ctxs  []activity.CtxKey
 }
 
 // NewIncremental returns an empty incremental partitioner. onMerge, when
@@ -87,9 +88,9 @@ type compKeys struct {
 func NewIncremental(mode Mode, onMerge func(winner, loser int32)) *Incremental {
 	return &Incremental{
 		mode:       mode,
-		dir:        make(map[activity.Channel]*chanInfo),
-		epoch:      make(map[activity.Context]int32),
-		ctxNode:    make(map[activity.Context]int32),
+		dir:        make(map[activity.ChanKey]chanInfo),
+		epoch:      make(map[activity.CtxKey]int32),
+		ctxNode:    make(map[activity.CtxKey]int32),
 		onMerge:    onMerge,
 		tombstones: make(map[int32]struct{}),
 	}
@@ -140,7 +141,7 @@ func (in *Incremental) rootKeys(n int32) *compKeys {
 	return k
 }
 
-func (in *Incremental) noteChan(ch activity.Channel, n int32) {
+func (in *Incremental) noteChan(ch activity.ChanKey, n int32) {
 	if in.keys == nil {
 		return
 	}
@@ -148,7 +149,7 @@ func (in *Incremental) noteChan(ch activity.Channel, n int32) {
 	k.chans = append(k.chans, ch)
 }
 
-func (in *Incremental) noteCtx(ctx activity.Context, n int32) {
+func (in *Incremental) noteCtx(ctx activity.CtxKey, n int32) {
 	if in.keys == nil {
 		return
 	}
@@ -160,28 +161,30 @@ func (in *Incremental) noteCtx(ctx activity.Context, n int32) {
 // node across both directions of the connection, and records whether this
 // direction has carried a SEND/END so far. late reports that an existing
 // entry resolved to a sealed root and was detached onto a fresh node.
-func (in *Incremental) channel(a *activity.Activity) (ci *chanInfo, late bool) {
-	ci = in.dir[a.Chan]
-	if ci != nil && in.sealed(ci.node) {
-		delete(in.dir, a.Chan)
-		ci, late = nil, true
+func (in *Incremental) channel(a *activity.Activity) (ci chanInfo, late bool) {
+	ci, ok := in.dir[a.ChanK]
+	if ok && in.sealed(ci.node) {
+		delete(in.dir, a.ChanK)
+		ok, late = false, true
 	}
-	if ci == nil {
-		rev := in.dir[a.Chan.Reverse()]
-		if rev != nil && in.sealed(rev.node) {
-			delete(in.dir, a.Chan.Reverse())
-			rev, late = nil, true
+	if !ok {
+		revKey := a.ChanK.Reverse()
+		rev, revOK := in.dir[revKey]
+		if revOK && in.sealed(rev.node) {
+			delete(in.dir, revKey)
+			revOK, late = false, true
 		}
-		if rev != nil {
-			ci = &chanInfo{node: rev.node}
+		if revOK {
+			ci = chanInfo{node: rev.node}
 		} else {
-			ci = &chanInfo{node: in.d.node()}
+			ci = chanInfo{node: in.d.node()}
 		}
-		in.dir[a.Chan] = ci
-		in.noteChan(a.Chan, ci.node)
+		in.dir[a.ChanK] = ci
+		in.noteChan(a.ChanK, ci.node)
 	}
-	if a.Type == activity.Send || a.Type == activity.End {
+	if (a.Type == activity.Send || a.Type == activity.End) && !ci.sendful {
 		ci.sendful = true
+		in.dir[a.ChanK] = ci
 	}
 	return ci, late
 }
@@ -196,13 +199,18 @@ func (in *Incremental) channel(a *activity.Activity) (ci *chanInfo, late bool) {
 // entries are re-interned on fresh nodes — so it starts (or joins) a
 // fresh component and the dispatched one is never returned again.
 func (in *Incremental) Add(a *activity.Activity) int32 {
+	if !a.CtxK.Bound() {
+		// Hand-built records reach the partitioner unbound; session-owned
+		// records arrive with dense keys already filled.
+		activity.Bind(a)
+	}
 	ci, late := in.channel(a)
 	ch := ci.node
 
 	if in.mode == ModeContext {
-		cn, ok := in.ctxNode[a.Ctx]
+		cn, ok := in.ctxNode[a.CtxK]
 		if ok && in.sealed(cn) {
-			delete(in.ctxNode, a.Ctx)
+			delete(in.ctxNode, a.CtxK)
 			ok = false
 			// A BEGIN on a retired thread is a new request reusing it —
 			// normal operation, detached silently. Anything else is the
@@ -213,8 +221,8 @@ func (in *Incremental) Add(a *activity.Activity) int32 {
 		}
 		if !ok {
 			cn = in.d.node()
-			in.ctxNode[a.Ctx] = cn
-			in.noteCtx(a.Ctx, cn)
+			in.ctxNode[a.CtxK] = cn
+			in.noteCtx(a.CtxK, cn)
 		}
 		in.union(cn, ch)
 		if late {
@@ -233,7 +241,7 @@ func (in *Incremental) Add(a *activity.Activity) int32 {
 	// paths that replace the epoch anyway drop the stale reference for
 	// free and are NOT late links — a new request beginning on a retired
 	// thread is normal operation, not a straggler.
-	e, ok := in.epoch[a.Ctx]
+	e, ok := in.epoch[a.CtxK]
 	var n int32
 	switch a.Type {
 	case activity.Begin:
@@ -242,8 +250,8 @@ func (in *Incremental) Add(a *activity.Activity) int32 {
 		} else {
 			e = in.d.node()
 			in.union(e, ch)
-			in.epoch[a.Ctx] = e
-			in.noteCtx(a.Ctx, e)
+			in.epoch[a.CtxK] = e
+			in.noteCtx(a.CtxK, e)
 			n = e
 		}
 	case activity.Receive:
@@ -263,21 +271,21 @@ func (in *Incremental) Add(a *activity.Activity) int32 {
 				// link (a true per-request straggler arrives on the
 				// sealed component's own connection and is counted by
 				// the channel detach above).
-				delete(in.epoch, a.Ctx)
+				delete(in.epoch, a.CtxK)
 				ok = false
 			}
 			if !ok {
 				e = in.d.node()
-				in.epoch[a.Ctx] = e
-				in.noteCtx(a.Ctx, e)
+				in.epoch[a.CtxK] = e
+				in.noteCtx(a.CtxK, e)
 			}
 			in.union(e, ch)
 			n = e
 		default:
 			e = in.d.node()
 			in.union(e, ch)
-			in.epoch[a.Ctx] = e
-			in.noteCtx(a.Ctx, e)
+			in.epoch[a.CtxK] = e
+			in.noteCtx(a.CtxK, e)
 			n = e
 		}
 	default: // Send, End, MaxType
@@ -285,13 +293,13 @@ func (in *Incremental) Add(a *activity.Activity) int32 {
 			// The context keeps sending after its epoch's component was
 			// dispatched: work the forced seal cut mid-request — the CAG
 			// is split, so this IS a late link.
-			delete(in.epoch, a.Ctx)
+			delete(in.epoch, a.CtxK)
 			ok, late = false, true
 		}
 		if !ok {
 			e = in.d.node()
-			in.epoch[a.Ctx] = e
-			in.noteCtx(a.Ctx, e)
+			in.epoch[a.CtxK] = e
+			in.noteCtx(a.CtxK, e)
 		}
 		in.union(e, ch)
 		n = e

@@ -57,7 +57,7 @@ var parallelMinTrace = 4096
 // Partition (workers = 1) and PartitionParallel run it, so the scan's
 // state machine cannot drift between the sequential and concurrent
 // paths — the same role Correlator.drive plays for the hot loop.
-func partitionHosts(byHost map[string][]*activity.Activity, hosts []string, mode Mode, workers int) []Component {
+func partitionHosts(byHost map[activity.Sym][]*activity.Activity, hosts []activity.Sym, mode Mode, workers int) []Component {
 	// Interning pre-pass (sequential): every directed channel gets a
 	// dense direction id; the two directions of one connection get
 	// dirID and dirID^1, so dirID>>1 is the connection id the union-find
@@ -70,22 +70,22 @@ func partitionHosts(byHost map[string][]*activity.Activity, hosts []string, mode
 	for _, h := range hosts {
 		total += len(byHost[h])
 	}
-	ids := make(map[activity.Channel]int32, total/4)
+	ids := make(map[activity.ChanKey]int32, total/4)
 	var sendful []bool // indexed by direction id
-	dirIDs := make(map[string][]int32, len(hosts))
+	dirIDs := make(map[activity.Sym][]int32, len(hosts))
 	for _, h := range hosts {
 		log := byHost[h]
 		hostIDs := make([]int32, len(log))
 		for j, a := range log {
-			id, ok := ids[a.Chan]
+			id, ok := ids[a.ChanK]
 			if !ok {
-				if rid, ok := ids[a.Chan.Reverse()]; ok {
+				if rid, ok := ids[a.ChanK.Reverse()]; ok {
 					id = rid ^ 1
 				} else {
 					id = int32(len(sendful))
 					sendful = append(sendful, false, false)
 				}
-				ids[a.Chan] = id
+				ids[a.ChanK] = id
 			}
 			if a.Type == activity.Send || a.Type == activity.End {
 				sendful[id] = true
@@ -188,35 +188,35 @@ func scanHost(log []*activity.Activity, dirIDs []int32, sendful []bool, mode Mod
 
 	switch mode {
 	case ModeContext:
-		ctxNode := make(map[activity.Context]int32)
+		ctxNode := make(map[activity.CtxKey]int32)
 		for j, a := range log {
 			ch := chNode(dirIDs[j])
-			cn, ok := ctxNode[a.Ctx]
+			cn, ok := ctxNode[a.CtxK]
 			if !ok {
 				cn = hs.d.node()
-				ctxNode[a.Ctx] = cn
+				ctxNode[a.CtxK] = cn
 			}
 			hs.d.union(cn, ch)
 			hs.assign[j] = cn
 		}
 	default: // ModeFlow
-		epoch := make(map[activity.Context]int32)
+		epoch := make(map[activity.CtxKey]int32)
 		for j, a := range log {
 			ch := chNode(dirIDs[j])
 			var n int32
 			switch a.Type {
 			case activity.Begin:
-				e, ok := epoch[a.Ctx]
+				e, ok := epoch[a.CtxK]
 				if ok && hs.d.find(e) == hs.d.find(ch) {
 					n = e
 				} else {
 					e = hs.d.node()
 					hs.d.union(e, ch)
-					epoch[a.Ctx] = e
+					epoch[a.CtxK] = e
 					n = e
 				}
 			case activity.Receive:
-				e, ok := epoch[a.Ctx]
+				e, ok := epoch[a.CtxK]
 				switch {
 				case ok && hs.d.find(e) == hs.d.find(ch):
 					n = e
@@ -228,14 +228,14 @@ func scanHost(log []*activity.Activity, dirIDs []int32, sendful []bool, mode Mod
 				default:
 					e = hs.d.node()
 					hs.d.union(e, ch)
-					epoch[a.Ctx] = e
+					epoch[a.CtxK] = e
 					n = e
 				}
 			default: // Send, End, MaxType
-				e, ok := epoch[a.Ctx]
+				e, ok := epoch[a.CtxK]
 				if !ok {
 					e = hs.d.node()
-					epoch[a.Ctx] = e
+					epoch[a.CtxK] = e
 				}
 				hs.d.union(e, ch)
 				n = e

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/activity"
 	"repro/internal/analysis"
 	"repro/internal/cag"
 )
@@ -102,7 +103,10 @@ type Monitor struct {
 	// in any ingested CAG; newest is the global maximum. Their difference
 	// is the per-host lag a deployment tunes per-host seal horizons
 	// (core.Options.SealAfterByHost) and heartbeat cadence against.
-	hostNewest map[string]time.Duration
+	// Keyed by interned host symbol — this table is touched for every
+	// vertex of every ingested CAG; names are resolved only when a lag
+	// table is rendered.
+	hostNewest map[activity.Sym]time.Duration
 	newest     time.Duration
 
 	// delivered tracks, per host, the newest record or heartbeat timestamp
@@ -110,7 +114,7 @@ type Monitor struct {
 	// independent from) what correlation has released into CAGs. The gap
 	// between Delivered and Newest is work in flight; a Delivered that
 	// stops advancing is a dead or disconnected agent.
-	delivered    map[string]time.Duration
+	delivered    map[activity.Sym]time.Duration
 	deliveredAny bool
 }
 
@@ -142,8 +146,8 @@ func NewMonitor(cfg Config) *Monitor {
 	return &Monitor{
 		cfg:        cfg,
 		baselines:  make(map[string]*patternBaseline),
-		hostNewest: make(map[string]time.Duration),
-		delivered:  make(map[string]time.Duration),
+		hostNewest: make(map[activity.Sym]time.Duration),
+		delivered:  make(map[activity.Sym]time.Duration),
 	}
 }
 
@@ -186,8 +190,18 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 	m.cur.graphs[sig] = append(m.cur.graphs[sig], g)
 	m.ingested++
 	for _, v := range g.Vertices() {
-		if v.Timestamp > m.hostNewest[v.Ctx.Host] || m.hostNewest[v.Ctx.Host] == 0 {
-			m.hostNewest[v.Ctx.Host] = v.Timestamp
+		// Records arriving through the session are bound; a hand-built
+		// vertex without records or keys falls back to interning its
+		// host name.
+		var sym activity.Sym
+		if len(v.Records) > 0 {
+			sym = v.Records[0].CtxK.Host
+		}
+		if sym == 0 {
+			sym = activity.Syms.Intern(v.Ctx.Host)
+		}
+		if v.Timestamp > m.hostNewest[sym] || m.hostNewest[sym] == 0 {
+			m.hostNewest[sym] = v.Timestamp
 		}
 		if v.Timestamp > m.newest {
 			m.newest = v.Timestamp
@@ -202,8 +216,9 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 // so wiring both to one Monitor is safe).
 func (m *Monitor) ObserveDelivery(host string, ts time.Duration) {
 	m.deliveredAny = true
-	if ts > m.delivered[host] {
-		m.delivered[host] = ts
+	sym := activity.Syms.Intern(host)
+	if ts > m.delivered[sym] {
+		m.delivered[sym] = ts
 	}
 }
 
@@ -217,7 +232,7 @@ func (m *Monitor) ObserveDelivery(host string, ts time.Duration) {
 // contributed to any released CAG appears with Newest zero and the full
 // lag.
 func (m *Monitor) HostLags() []HostLag {
-	hosts := make(map[string]bool, len(m.hostNewest)+len(m.delivered))
+	hosts := make(map[activity.Sym]bool, len(m.hostNewest)+len(m.delivered))
 	for h := range m.hostNewest {
 		hosts[h] = true
 	}
@@ -227,7 +242,12 @@ func (m *Monitor) HostLags() []HostLag {
 	out := make([]HostLag, 0, len(hosts))
 	for h := range hosts {
 		ts := m.hostNewest[h]
-		out = append(out, HostLag{Host: h, Newest: ts, Lag: m.newest - ts, Delivered: m.delivered[h]})
+		out = append(out, HostLag{
+			Host:      activity.Syms.Name(h),
+			Newest:    ts,
+			Lag:       m.newest - ts,
+			Delivered: m.delivered[h],
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Lag != out[j].Lag {

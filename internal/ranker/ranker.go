@@ -173,13 +173,13 @@ func SplitByHost(as []*activity.Activity) map[string][]*activity.Activity {
 type MsgIndex interface {
 	// HasPendingSend reports whether an unmatched SEND exists for the
 	// channel (the is_noise query).
-	HasPendingSend(ch activity.Channel) bool
+	HasPendingSend(ch activity.ChanKey) bool
 	// PendingBytes returns how many bytes of that SEND remain unconsumed
 	// (the size-aware Rule 1 query): a RECEIVE becomes a candidate only
 	// when the pending SEND covers its byte count, so that the engine's
 	// Fig. 4 countdown never goes negative when the sender's segments are
 	// still queued behind it.
-	PendingBytes(ch activity.Channel) int64
+	PendingBytes(ch activity.ChanKey) int64
 }
 
 // Filter inspects an activity at fetch time and returns true to drop it —
@@ -302,7 +302,7 @@ type Ranker struct {
 
 	// bufferedSends counts SEND activities currently in the buffer, per
 	// channel — the "buffer of ranker" half of the is_noise predicate.
-	bufferedSends map[activity.Channel]int
+	bufferedSends map[activity.ChanKey]int
 	buffered      int
 }
 
@@ -315,7 +315,7 @@ func New(cfg Config, index MsgIndex, sources []Source) *Ranker {
 	r := &Ranker{
 		cfg:           cfg,
 		index:         index,
-		bufferedSends: make(map[activity.Channel]int),
+		bufferedSends: make(map[activity.ChanKey]int),
 	}
 	for _, s := range sources {
 		r.queues = append(r.queues, &queue{host: s.Host(), src: s})
@@ -353,6 +353,11 @@ func (r *Ranker) fetchOne(q *queue) bool {
 		if a == nil {
 			return false
 		}
+		if !a.CtxK.Bound() {
+			// Hand-built sources reach the ranker unbound; decoded traces
+			// arrive with dense keys already filled.
+			activity.Bind(a)
+		}
 		if r.cfg.Filter != nil && r.cfg.Filter(a) {
 			r.stats.FilterDropped++
 			continue
@@ -363,7 +368,7 @@ func (r *Ranker) fetchOne(q *queue) bool {
 			r.stats.PeakBuffered = r.buffered
 		}
 		if a.Type == activity.Send {
-			r.bufferedSends[a.Chan]++
+			r.bufferedSends[a.ChanK]++
 		}
 		r.stats.Fetched++
 		return true
@@ -416,10 +421,10 @@ func (r *Ranker) take(q *queue) *activity.Activity {
 	a := q.pop()
 	r.buffered--
 	if a.Type == activity.Send {
-		if n := r.bufferedSends[a.Chan]; n <= 1 {
-			delete(r.bufferedSends, a.Chan)
+		if n := r.bufferedSends[a.ChanK]; n <= 1 {
+			delete(r.bufferedSends, a.ChanK)
 		} else {
-			r.bufferedSends[a.Chan] = n - 1
+			r.bufferedSends[a.ChanK] = n - 1
 		}
 	}
 	r.stats.Delivered++
@@ -440,7 +445,7 @@ func (r *Ranker) Rank() *activity.Activity {
 		for _, q := range r.queues {
 			h := q.peek()
 			if h != nil && h.Type == activity.Receive &&
-				r.index.HasPendingSend(h.Chan) && r.index.PendingBytes(h.Chan) >= h.Size {
+				r.index.HasPendingSend(h.ChanK) && r.index.PendingBytes(h.ChanK) >= h.Size {
 				return r.take(q)
 			}
 		}
@@ -507,7 +512,7 @@ func (r *Ranker) swapBlockedHead() bool {
 			}
 			safe := true
 			for j := 0; j < i; j++ {
-				if q.at(j).Ctx == x.Ctx {
+				if q.at(j).CtxK == x.CtxK {
 					safe = false
 					break
 				}
@@ -545,10 +550,10 @@ func (r *Ranker) dropNoiseHead() bool {
 }
 
 func (r *Ranker) isNoise(a *activity.Activity) bool {
-	if r.index.HasPendingSend(a.Chan) {
+	if r.index.HasPendingSend(a.ChanK) {
 		return false
 	}
-	if r.bufferedSends[a.Chan] > 0 {
+	if r.bufferedSends[a.ChanK] > 0 {
 		return false
 	}
 	if r.cfg.PaperExactNoise {
@@ -608,7 +613,7 @@ func (r *Ranker) TryRank() (a *activity.Activity, done bool) {
 	for _, q := range r.queues {
 		h := q.peek()
 		if h != nil && h.Type == activity.Receive &&
-			r.index.HasPendingSend(h.Chan) && r.index.PendingBytes(h.Chan) >= h.Size {
+			r.index.HasPendingSend(h.ChanK) && r.index.PendingBytes(h.ChanK) >= h.Size {
 			return r.take(q), false
 		}
 	}

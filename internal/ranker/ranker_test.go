@@ -247,7 +247,7 @@ func TestSwapPreservesContextOrder(t *testing.T) {
 	recv := act(activity.Receive, 1*time.Millisecond, javaCtx, webApp, 10, 1)
 	send := act(activity.Send, 2*time.Millisecond, javaCtx, appDB, 10, 1)
 	q.buf = []*activity.Activity{recv, send}
-	r := &Ranker{queues: []*queue{q}, bufferedSends: map[activity.Channel]int{}}
+	r := &Ranker{queues: []*queue{q}, bufferedSends: map[activity.ChanKey]int{}}
 	if r.swapBlockedHead() {
 		t.Fatal("swap must not reorder same-context activities")
 	}

@@ -26,6 +26,16 @@ type Sink interface {
 	CloseHost(host string) error
 }
 
+// BatchSink is the optional Sink upgrade for whole-frame delivery: a
+// sink that can take one decoded frame's run of records in a single
+// call (core.Ingest does — one queue operation instead of one per
+// record). The collector detects it at construction and prefers it.
+// PushBatch transfers ownership of the records to the sink.
+type BatchSink interface {
+	Sink
+	PushBatch(recs []*activity.Activity) error
+}
+
 // CollectorConfig parametrises a Collector.
 type CollectorConfig struct {
 	// Hosts are the agent host names this collector accepts — the same
@@ -58,8 +68,9 @@ type HostStatus struct {
 // applied high-water mark) lives in the collector, not the connection, so
 // an agent may reconnect or restart at will.
 type Collector struct {
-	sink Sink
-	cfg  CollectorConfig
+	sink  Sink
+	batch BatchSink // sink's batch upgrade, nil when unsupported
+	cfg   CollectorConfig
 
 	mu    sync.Mutex
 	cond  *sync.Cond // signals a host's connection slot being released
@@ -97,10 +108,11 @@ func NewCollector(sink Sink, cfg CollectorConfig) (*Collector, error) {
 	c := &Collector{
 		sink:     sink,
 		cfg:      cfg,
-		hosts:    make(map[string]*hostState, len(cfg.Hosts)),
 		done:     make(chan struct{}),
 		shutdown: make(chan struct{}),
 	}
+	c.batch, _ = sink.(BatchSink)
+	c.hosts = make(map[string]*hostState, len(cfg.Hosts))
 	c.cond = sync.NewCond(&c.mu)
 	for _, h := range cfg.Hosts {
 		if h == "" {
@@ -294,43 +306,106 @@ func (c *Collector) handle(conn net.Conn) {
 // applyBatch applies one batch's items above the host's high-water mark.
 // Sink calls happen without the collector mutex held — Push may block on
 // ingest backpressure, and that block must only stall this connection.
+//
+// Consecutive records accumulate into one run and reach the sink as a
+// single PushBatch when it supports batches (core.Ingest does): one
+// queue hop per frame instead of one per record. Heartbeats flush the
+// pending run first, so the sink sees items in exact sequence order.
+// Decoded records come from the activity record pool; ownership of a
+// record passes to the sink with the flush, while records the sink never
+// sees (the already-applied resume prefix) are released here.
 func (c *Collector) applyBatch(hs *hostState, payload []byte) (applied int, err error) {
 	c.mu.Lock()
 	mark := hs.lastApplied
 	c.mu.Unlock()
+	var pend []*activity.Activity // decoded records awaiting the sink
+	var pendTs time.Duration      // newest timestamp in pend
+	flush := func() error {
+		if len(pend) == 0 {
+			return nil
+		}
+		if err := c.push(pend); err != nil {
+			// Ownership of the run is ambiguous after a failed hand-off;
+			// leave the records to the GC rather than risk recycling one
+			// the sink retained. This path drops the connection anyway.
+			pend = nil
+			return err
+		}
+		applied += len(pend)
+		mark += uint64(len(pend))
+		c.mu.Lock()
+		hs.lastApplied = mark
+		if pendTs > hs.lastTs {
+			hs.lastTs = pendTs
+		}
+		c.mu.Unlock()
+		// The sink owns the flushed slice now (PushBatch applies it
+		// asynchronously) — start a fresh one, never reuse the backing
+		// array.
+		pend = nil
+		return nil
+	}
 	err = parseBatch(payload, func(it item) error {
 		if it.seq <= mark {
-			return nil // replayed prefix: already applied
+			if it.rec != nil {
+				activity.ReleaseRecord(it.rec) // replayed prefix: already applied
+			}
+			return nil
 		}
-		if it.seq != mark+1 {
-			return fmt.Errorf("transport: %s: sequence gap (%d after %d)", hs.name, it.seq, mark)
+		if it.seq != mark+1+uint64(len(pend)) {
+			if it.rec != nil {
+				activity.ReleaseRecord(it.rec)
+			}
+			return fmt.Errorf("transport: %s: sequence gap (%d after %d)", hs.name, it.seq, mark+uint64(len(pend)))
 		}
-		var ts time.Duration
 		if it.rec != nil {
 			if got, want := it.rec.Ctx.Host, hs.name; got != want {
+				activity.ReleaseRecord(it.rec)
 				return fmt.Errorf("transport: record for host %q on %q's stream", got, want)
 			}
-			if err := c.sink.Push(it.rec); err != nil {
-				return err
+			pend = append(pend, it.rec)
+			if it.rec.Timestamp > pendTs {
+				pendTs = it.rec.Timestamp
 			}
-			ts = it.rec.Timestamp
-		} else {
-			if err := c.sink.Heartbeat(hs.name, it.hb); err != nil {
-				return err
-			}
-			ts = it.hb
+			return nil
+		}
+		// Heartbeat: deliver pending records first to preserve item order.
+		if err := flush(); err != nil {
+			return err
 		}
 		mark = it.seq
+		if err := c.sink.Heartbeat(hs.name, it.hb); err != nil {
+			return err
+		}
 		applied++
 		c.mu.Lock()
 		hs.lastApplied = mark
-		if ts > hs.lastTs {
-			hs.lastTs = ts
+		if it.hb > hs.lastTs {
+			hs.lastTs = it.hb
 		}
 		c.mu.Unlock()
 		return nil
 	})
+	if err == nil {
+		err = flush()
+	}
 	return applied, err
+}
+
+// push hands one run of records to the sink — whole when the sink
+// understands batches, record by record otherwise. The caller's mark
+// accounting assumes all-or-nothing; a partial per-record failure aborts
+// the connection, and resume replays from the last acked sequence.
+func (c *Collector) push(recs []*activity.Activity) error {
+	if c.batch != nil {
+		return c.batch.PushBatch(recs)
+	}
+	for _, a := range recs {
+		if err := c.sink.Push(a); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // refuse sends a terminal error frame and lets the deferred close drop

@@ -189,8 +189,14 @@ func parseBatch(p []byte, apply func(it item) error) error {
 		it := item{seq: first + i}
 		switch tag {
 		case itemRecord:
-			rec, n, err := activity.DecodeBinary(p)
+			// Records decode into pooled storage (interned identity strings,
+			// bound keys, no per-record allocation on the warm path). The
+			// apply callback takes ownership: whoever ends up not forwarding
+			// a record returns it via activity.ReleaseRecord.
+			rec := activity.NewRecord()
+			n, err := activity.DecodeBinaryInto(rec, p)
 			if err != nil {
+				activity.ReleaseRecord(rec)
 				return fmt.Errorf("transport: batch item %d: %w", i, err)
 			}
 			it.rec = rec

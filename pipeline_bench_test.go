@@ -45,15 +45,24 @@ type sessionPushEntry struct {
 	NumCPU        int     `json:"num_cpu"`
 	GoMaxProcs    int     `json:"gomaxprocs"`
 	NsPerActivity float64 `json:"ns_per_activity"`
+	// AllocsPerOp is heap allocations for one full replay of the trace —
+	// the same figure BenchmarkSessionPush -benchmem reports, and the one
+	// `make bench-allocs` gates. The close-driven case measured 178,250
+	// before the dense identity layer (see AllocsBaseline).
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
 }
 
 type benchReport struct {
-	Benchmark   string             `json:"benchmark"`
-	NumCPU      int                `json:"num_cpu"`
-	GoMaxProcs  int                `json:"gomaxprocs"`
-	Note        string             `json:"note,omitempty"`
-	Entries     []benchEntry       `json:"entries"`
-	SessionPush []sessionPushEntry `json:"session_push,omitempty"`
+	Benchmark  string       `json:"benchmark"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Note       string       `json:"note,omitempty"`
+	Entries    []benchEntry `json:"entries"`
+	// AllocsBaseline is the close-driven session_push allocs_per_op
+	// before the interned identity layer — the reference the current
+	// entries' allocation cut is measured against.
+	AllocsBaseline uint64             `json:"session_push_allocs_baseline,omitempty"`
+	SessionPush    []sessionPushEntry `json:"session_push,omitempty"`
 }
 
 // sessionReplay pushes the trace through an online Session in global
@@ -226,6 +235,7 @@ func TestPipelineSpeedupTrajectory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		report.AllocsBaseline = 178250 // close-driven, before dense interned identities
 		for _, pc := range []struct {
 			workers   int
 			sealAfter time.Duration
@@ -238,14 +248,23 @@ func TestPipelineSpeedupTrajectory(t *testing.T) {
 					best = el
 				}
 			}
+			// One instrumented replay for the allocation figure; timing
+			// comes from the uninstrumented runs above.
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			sessionReplay(t, res, pc.workers, pc.sealAfter)
+			runtime.ReadMemStats(&m1)
+			allocs := m1.Mallocs - m0.Mallocs
 			perAct := float64(best.Nanoseconds()) / float64(len(res.Trace))
 			report.SessionPush = append(report.SessionPush, sessionPushEntry{
 				Scale: cfg.Scale, Clients: 300, Activities: len(res.Trace),
 				Workers: pc.workers, SealAfterMs: int(pc.sealAfter / time.Millisecond),
 				NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
-				NsPerActivity: perAct,
+				NsPerActivity: perAct, AllocsPerOp: allocs,
 			})
-			t.Logf("session push: workers=%d sealafter=%v %.0f ns/activity", pc.workers, pc.sealAfter, perAct)
+			t.Logf("session push: workers=%d sealafter=%v %.0f ns/activity, %d allocs/op",
+				pc.workers, pc.sealAfter, perAct, allocs)
 		}
 	}
 
