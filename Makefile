@@ -11,9 +11,11 @@
 GO ?= go
 
 # Minimum combined statement coverage for the correlator's concurrency
-# core (internal/core + internal/flow + internal/live) — the packages the
+# core (internal/core + internal/flow + internal/live) plus the live
+# analytics tier (internal/sketch + internal/export) — the packages the
 # sharded batch pipeline, the sharded push-mode session (including the
-# SealAfter continuous mode) and the online monitor live in.
+# SealAfter continuous mode), the online monitor and its bounded-memory
+# sketches and export sinks live in.
 COVER_MIN ?= 85
 
 .PHONY: ci vet lint build test race cover bench bench-allocs soak soak-short
@@ -43,8 +45,8 @@ race:
 	$(GO) test -race ./...
 
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/flow ./internal/live
-	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) '/^total:/ { pct = $$3; sub(/%/, "", pct); printf "coverage: %s%% of statements in internal/core+internal/flow+internal/live (minimum %s%%)\n", pct, min; exit (pct + 0 < min + 0) }'
+	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/flow ./internal/live ./internal/sketch ./internal/export
+	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) '/^total:/ { pct = $$3; sub(/%/, "", pct); printf "coverage: %s%% of statements in internal/core+internal/flow+internal/live+internal/sketch+internal/export (minimum %s%%)\n", pct, min; exit (pct + 0 < min + 0) }'
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
@@ -71,15 +73,22 @@ bench-allocs:
 # Loopback soak of the network ingestion tier: many concurrent agents
 # shipping a sustained load through collector → ingest → session, with a
 # mid-stream reconnect, checked byte-for-byte against the offline replay
-# of the same records. soak-short is the quick version `make ci` runs;
-# `make soak` scales it up (tune SOAK_AGENTS / SOAK_REQUESTS).
+# of the same records — plus the sketched monitor's fixed-capacity gate
+# (footprint flat over a much longer synthetic stream). soak-short is
+# the quick version `make ci` runs; `make soak` scales both up (tune
+# SOAK_AGENTS / SOAK_REQUESTS / SOAK_LIVE_SCALE).
 SOAK_AGENTS ?= 24
 SOAK_REQUESTS ?= 20000
+SOAK_LIVE_SCALE ?= 100
 
 soak:
 	$(GO) test ./internal/transport -count=1 -run TestTransportSoak -v \
 		-soak.agents=$(SOAK_AGENTS) -soak.requests=$(SOAK_REQUESTS) -timeout 15m
+	$(GO) test ./internal/live -count=1 -run TestMonitorSketchedCapacity -v \
+		-live.soakscale=$(SOAK_LIVE_SCALE) -timeout 15m
 
 soak-short:
 	$(GO) test ./internal/transport -count=1 -run TestTransportSoak \
 		-soak.agents=12 -soak.requests=2000
+	$(GO) test ./internal/live -count=1 -run TestMonitorSketchedCapacity \
+		-live.soakscale=25

@@ -14,6 +14,7 @@
 //	rubisgen -clients 300 -scale 0.1 -splitdir traces/
 //	livemon -indir traces/ -interval 5s
 //	livemon -indir traces/ -sealafter 50ms,db1=500ms -heartbeat 25ms
+//	livemon -indir traces/ -sketched -maxpatterns 64 -export otlp=spans.ndjson
 //	livemon -listen 127.0.0.1:9411 -hosts 'web=10.0.0.1,app1=10.0.0.2,db1=10.0.0.3' -sealafter 50ms &
 //	traceagent -addr 127.0.0.1:9411 -indir traces/ -heartbeat 25ms
 package main
@@ -30,76 +31,58 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/analysis"
-	"repro/internal/cag"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/transport"
 )
 
-// errUsage marks a rejected flag value: main prints the flag usage after
-// the error instead of failing silently on a misconfiguration.
-var errUsage = errors.New("invalid flag value")
-
-func usagef(format string, args ...any) error {
-	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
-}
-
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "livemon:", err)
-		if errors.Is(err, errUsage) {
-			flag.Usage()
-		}
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("livemon", run) }
 
 func run() error {
 	var (
-		inDir     = flag.String("indir", "", "directory of per-host logs (replay mode)")
-		listen    = flag.String("listen", "", "collector listen address (listen mode; agents ship streams with traceagent)")
-		hostSpec  = flag.String("hosts", "", "listen mode topology: comma-separated host=ip[+ip...] entries declaring every agent and its traced addresses")
-		window    = flag.Duration("window", 10*time.Millisecond, "ranker sliding window")
-		interval  = flag.Duration("interval", 5*time.Second, "monitor aggregation interval (trace time)")
-		baseline  = flag.Int("baseline", 3, "intervals used to learn the healthy baseline")
-		threshold = flag.Float64("threshold", 8, "alert threshold in latency-share percentage points")
-		entryPort = flag.Int("entryport", 80, "first-tier service port")
-		chunk     = flag.Int("chunk", 256, "records pushed between drain rounds")
-		workers   = flag.Int("workers", 1, "correlation workers sizing the streaming engine's pool (1 = sequential configuration, 0 = all CPUs)")
-		sealAfter = flag.String("sealafter", "", "activity-time seal horizon(s): a default duration and/or host=duration overrides, comma-separated (e.g. '50ms,db1=500ms'); empty = close-driven sealing only")
-		heartbeat = flag.Duration("heartbeat", 0, "replay mode agent liveness cadence in activity time (listen-mode heartbeats come from the agents; see traceagent -heartbeat); 0 = no heartbeats")
+		inDir       = flag.String("indir", "", "directory of per-host logs (replay mode)")
+		listen      = flag.String("listen", "", "collector listen address (listen mode; agents ship streams with traceagent)")
+		hostSpec    = flag.String("hosts", "", "listen mode topology: comma-separated host=ip[+ip...] entries declaring every agent and its traced addresses")
+		window      = flag.Duration("window", 10*time.Millisecond, "ranker sliding window")
+		interval    = flag.Duration("interval", 5*time.Second, "monitor aggregation interval (trace time)")
+		baseline    = flag.Int("baseline", 3, "intervals used to learn the healthy baseline")
+		threshold   = flag.Float64("threshold", 8, "alert threshold in latency-share percentage points")
+		entryPort   = flag.Int("entryport", 80, "first-tier service port")
+		chunk       = flag.Int("chunk", 256, "records pushed between drain rounds")
+		sketched    = flag.Bool("sketched", false, "bounded-memory monitor: sketch per-interval pattern accounting instead of retaining CAGs")
+		maxPatterns = flag.Int("maxpatterns", 0, "sketched mode pattern capacity per interval (0 = default)")
 	)
+	shared := cli.RegisterCorrelator(flag.CommandLine)
+	heartbeatFlag := cli.RegisterHeartbeat(flag.CommandLine)
 	flag.Parse()
+	heartbeat := *heartbeatFlag
 	if (*inDir == "") == (*listen == "") {
-		return usagef("exactly one of -indir (replay) or -listen (collector) is required")
+		return cli.Usagef("exactly one of -indir (replay) or -listen (collector) is required")
 	}
 	if *listen != "" && *hostSpec == "" {
-		return usagef("-listen needs -hosts (sessions declare every stream up front)")
+		return cli.Usagef("-listen needs -hosts (sessions declare every stream up front)")
 	}
-	if *listen != "" && *heartbeat != 0 {
-		return usagef("-heartbeat is replay-mode only; in listen mode agents heartbeat themselves (traceagent -heartbeat)")
+	if *listen != "" && heartbeat != 0 {
+		return cli.Usagef("-heartbeat is replay-mode only; in listen mode agents heartbeat themselves (traceagent -heartbeat)")
 	}
 	if *window <= 0 {
-		return usagef("-window must be > 0 (got %v)", *window)
+		return cli.Usagef("-window must be > 0 (got %v)", *window)
 	}
 	if *interval <= 0 {
-		return usagef("-interval must be > 0 (got %v)", *interval)
+		return cli.Usagef("-interval must be > 0 (got %v)", *interval)
 	}
 	if *baseline <= 0 {
-		return usagef("-baseline must be > 0 (got %d)", *baseline)
+		return cli.Usagef("-baseline must be > 0 (got %d)", *baseline)
 	}
 	if *chunk <= 0 {
-		return usagef("-chunk must be > 0 (got %d)", *chunk)
+		return cli.Usagef("-chunk must be > 0 (got %d)", *chunk)
 	}
-	if *workers < 0 {
-		return usagef("-workers must be >= 0 (got %d; 0 = all CPUs)", *workers)
+	if *maxPatterns < 0 {
+		return cli.Usagef("-maxpatterns must be >= 0 (got %d)", *maxPatterns)
 	}
-	if *heartbeat < 0 {
-		return usagef("-heartbeat must be >= 0 (got %v)", *heartbeat)
-	}
-	sealDefault, sealByHost, err := core.ParseSealAfterSpec(*sealAfter)
-	if err != nil {
-		return usagef("%v", err)
+	if err := cli.ValidateHeartbeat(heartbeat); err != nil {
+		return err
 	}
 
 	monitor := live.NewMonitor(live.Config{
@@ -107,20 +90,33 @@ func run() error {
 		BaselineIntervals: *baseline,
 		Detector:          analysis.Detector{ThresholdPoints: *threshold},
 		OnAlert:           func(a live.Alert) { fmt.Printf("ALERT %s\n", a) },
+		Sketched:          *sketched,
+		MaxPatterns:       *maxPatterns,
 	})
 	opts := core.Options{
-		Window:          *window,
-		EntryPorts:      []int{*entryPort},
-		OnGraph:         func(g *cag.Graph) { monitor.Ingest(g) },
-		Workers:         core.ResolveWorkers(*workers),
-		SealAfter:       sealDefault,
-		SealAfterByHost: sealByHost,
+		Window:     *window,
+		EntryPorts: []int{*entryPort},
+		// The monitor is the first sink: it sees every CAG before the
+		// export sinks, all on the emitter goroutine.
+		Sinks: []core.GraphSink{monitor},
+	}
+	exports, err := shared.Apply(&opts)
+	if err != nil {
+		return err
 	}
 
 	if *listen != "" {
-		return serveCollector(*listen, *hostSpec, opts, monitor, *chunk)
+		err = serveCollector(*listen, *hostSpec, opts, monitor, *chunk)
+	} else {
+		err = replay(*inDir, opts, monitor, *chunk, heartbeat)
 	}
-	return replay(*inDir, opts, monitor, *chunk, *heartbeat)
+	if cerr := exports.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Print(exports.Summary())
+	}
+	return err
 }
 
 // parseHostsSpec parses "web=10.0.0.1,app1=10.0.0.2+10.0.0.3" into the
@@ -156,14 +152,14 @@ func parseHostsSpec(spec string) (hosts []string, ipToHost map[string]string, er
 func serveCollector(addr, hostSpec string, opts core.Options, monitor *live.Monitor, chunk int) error {
 	hosts, ipToHost, err := parseHostsSpec(hostSpec)
 	if err != nil {
-		return usagef("%v", err)
+		return cli.Usagef("%v", err)
 	}
 	opts.IPToHost = ipToHost
 	sess, err := core.NewSession(opts, hosts)
 	if err != nil {
 		return err
 	}
-	// OnApplied and OnGraph both fire on the ingest goroutine, so the
+	// OnApplied and the sinks both fire on the ingest goroutine, so the
 	// monitor sees deliveries and CAGs without extra locking; the
 	// wall-clock flush keeps decidable CAGs moving through traffic lulls.
 	// Release returns decoded transport records to the activity pool once
@@ -211,7 +207,7 @@ func serveCollector(addr, hostSpec string, opts core.Options, monitor *live.Moni
 		applied += int(st.LastSeq)
 	}
 	fmt.Printf("collected %d items from %d agents; %d causal paths; correlation %v\n",
-		applied, len(hosts), monitor.Ingested(), res.CorrelationTime.Round(time.Millisecond))
+		applied, len(hosts), monitor.Stats().Ingested, res.CorrelationTime.Round(time.Millisecond))
 	report(res, monitor, opts.Workers)
 	return nil
 }
@@ -270,7 +266,7 @@ func replay(inDir string, opts core.Options, monitor *live.Monitor, chunk int, h
 	monitor.Flush()
 
 	fmt.Printf("replayed %d activities from %d hosts; %d causal paths; correlation %v\n",
-		pushed, len(hosts), monitor.Ingested(), res.CorrelationTime.Round(time.Millisecond))
+		pushed, len(hosts), monitor.Stats().Ingested, res.CorrelationTime.Round(time.Millisecond))
 	report(res, monitor, opts.Workers)
 	return nil
 }
@@ -289,15 +285,20 @@ func report(res *core.Result, monitor *live.Monitor, workers int) {
 		fmt.Printf("continuous mode: %d forced seals, %d late links (CAGs may be split; see core.Options.SealAfter)\n",
 			res.ForcedSeals, res.LateLinks)
 	}
-	if n := monitor.OutOfOrder(); n > 0 {
-		fmt.Printf("warning: %d CAGs arrived out of END-timestamp order; interval statistics may be skewed\n", n)
+	st := monitor.Stats()
+	if st.OutOfOrder > 0 {
+		fmt.Printf("warning: %d CAGs arrived out of END-timestamp order; interval statistics may be skewed\n", st.OutOfOrder)
 	}
-	if n := monitor.SkippedEmpty(); n > 0 {
-		fmt.Printf("quiet gaps: %d empty intervals skipped (recorded per interval in the gap column)\n", n)
+	if st.SkippedEmpty > 0 {
+		fmt.Printf("quiet gaps: %d empty intervals skipped (recorded per interval in the gap column)\n", st.SkippedEmpty)
 	}
 	fmt.Print(monitor.Summary())
 	fmt.Println()
 	fmt.Print(monitor.HistoryTable())
+	if tbl := monitor.QuantileTable(); tbl != "" {
+		fmt.Println("\nlifetime quantiles (sketched; error within the configured epsilon):")
+		fmt.Print(tbl)
+	}
 	if tbl := monitor.HostLagTable(); tbl != "" {
 		fmt.Println("\nper-host lag (newest correlated record vs newest overall; tune -sealafter host= overrides against this):")
 		fmt.Print(tbl)

@@ -9,10 +9,10 @@
 //	precisetracer -in trace.log -window 10ms -patterns -report
 //	precisetracer -in trace.log -accuracy          # needs -truth traces
 //	precisetracer -in trace.log -dump 3            # show the first CAGs
+//	precisetracer -in trace.log -export otlp=spans.ndjson,dot=dots/
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,29 +23,14 @@ import (
 	"repro/internal/activity"
 	"repro/internal/analysis"
 	"repro/internal/cag"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/groundtruth"
 	"repro/internal/ranker"
 	htmlreport "repro/internal/report"
 )
 
-// errUsage marks a rejected flag value: main prints the flag usage after
-// the error instead of failing silently on a misconfiguration.
-var errUsage = errors.New("invalid flag value")
-
-func usagef(format string, args ...any) error {
-	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
-}
-
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "precisetracer:", err)
-		if errors.Is(err, errUsage) {
-			flag.Usage()
-		}
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("precisetracer", run) }
 
 func run() error {
 	var (
@@ -64,40 +49,31 @@ func run() error {
 		hops      = flag.Bool("hops", false, "print per-component latency distributions (p50/p95/p99)")
 		outliers  = flag.Int("outliers", 0, "show the N slowest requests and their dominant component")
 		lint      = flag.Bool("lint", false, "check the trace for integrity problems before correlating")
-		workers   = flag.Int("workers", 1, "correlation workers sizing the streaming engine's pool (1 = sequential configuration, 0 = all CPUs)")
 		shardBy   = flag.String("shardby", "flow", "flow-component partition policy: flow (request epochs) or context (whole context lifetimes)")
 		batch     = flag.Int("batch", 0, "retained for compatibility; the streaming engine dispatches flow components individually, so this is validated but ignored")
-		sealAfter = flag.String("sealafter", "", "activity-time seal horizon(s) honoured by the offline replay: a default duration and/or host=duration overrides, comma-separated (e.g. '50ms,db1=500ms'); empty = close-driven sealing only")
 	)
+	shared := cli.RegisterCorrelator(flag.CommandLine)
 	flag.Parse()
 	if *in == "" && *inDir == "" {
-		return usagef("-in or -indir is required")
+		return cli.Usagef("-in or -indir is required")
 	}
 	if *window <= 0 {
-		return usagef("-window must be > 0 (got %v)", *window)
-	}
-	if *workers < 0 {
-		return usagef("-workers must be >= 0 (got %d; 0 = all CPUs)", *workers)
+		return cli.Usagef("-window must be > 0 (got %v)", *window)
 	}
 	if *batch < 0 {
-		return usagef("-batch must be >= 0 (got %d)", *batch)
+		return cli.Usagef("-batch must be >= 0 (got %d)", *batch)
 	}
 	if *dumpN < 0 {
-		return usagef("-dump must be >= 0 (got %d)", *dumpN)
+		return cli.Usagef("-dump must be >= 0 (got %d)", *dumpN)
 	}
 	if *outliers < 0 {
-		return usagef("-outliers must be >= 0 (got %d)", *outliers)
+		return cli.Usagef("-outliers must be >= 0 (got %d)", *outliers)
 	}
 
 	ports, err := parsePorts(*entry)
 	if err != nil {
-		return usagef("%v", err)
+		return cli.Usagef("%v", err)
 	}
-	sealDefault, sealByHost, err := core.ParseSealAfterSpec(*sealAfter)
-	if err != nil {
-		return usagef("%v", err)
-	}
-	nWorkers := core.ResolveWorkers(*workers)
 	var mode core.ShardMode
 	switch *shardBy {
 	case "flow":
@@ -105,17 +81,25 @@ func run() error {
 	case "context":
 		mode = core.ShardByContext
 	default:
-		return usagef("unknown -shardby %q (want flow or context)", *shardBy)
+		return cli.Usagef("unknown -shardby %q (want flow or context)", *shardBy)
 	}
 	opts := core.Options{
 		Window:          *window,
 		EntryPorts:      ports,
 		PaperExactNoise: *paperMode,
-		Workers:         nWorkers,
 		ShardBy:         mode,
 		BatchSize:       *batch,
-		SealAfter:       sealDefault,
-		SealAfterByHost: sealByHost,
+	}
+	exports, err := shared.Apply(&opts)
+	if err != nil {
+		return err
+	}
+	// Registering any sink streams graphs away from Result.Graphs, but
+	// the offline CLI's analyses all want the full set — collect them
+	// back alongside the export sinks.
+	var collect core.Collect
+	if exports.Active() {
+		opts.Sinks = append(opts.Sinks, &collect)
 	}
 	if *deny != "" {
 		m := make(map[string]bool)
@@ -166,9 +150,16 @@ func run() error {
 			return err
 		}
 	}
+	graphs := res.Graphs
+	if exports.Active() {
+		graphs = collect.Graphs
+		if err := exports.Close(); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("activities: %d   causal paths: %d   unfinished: %d   correlation time: %v\n",
-		res.Activities, len(res.Graphs), res.Unfinished(), res.CorrelationTime.Round(time.Millisecond))
+		res.Activities, len(graphs), res.Unfinished(), res.CorrelationTime.Round(time.Millisecond))
 	fmt.Printf("ranker: delivered=%d filtered=%d is_noise=%d swaps=%d forced=%d peak_buffer=%d\n",
 		res.Ranker.Delivered, res.Ranker.FilterDropped, res.Ranker.NoiseDropped,
 		res.Ranker.Swaps, res.Ranker.ForcedPops, res.Ranker.PeakBuffered)
@@ -177,7 +168,7 @@ func run() error {
 		res.Engine.DiscardedSends, res.Engine.DiscardedReceives, res.Engine.DiscardedEnds,
 		res.Engine.ThreadReuseBreaks)
 	if res.SequentialFallback != "" {
-		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", nWorkers, res.SequentialFallback)
+		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", opts.Workers, res.SequentialFallback)
 	}
 	if res.ForcedSeals > 0 || res.LateLinks > 0 {
 		// The offline replay honours -sealafter, reproducing a continuous
@@ -196,24 +187,27 @@ func run() error {
 		fmt.Printf("memory estimate: %.2f MB (peak buffered %d activities, %d resident vertices)\n",
 			float64(res.EstimatedBytes())/(1<<20), res.PeakBufferedActivities, res.PeakResidentVertices)
 	}
+	if exports.Active() {
+		fmt.Print(exports.Summary())
+	}
 
 	if *accuracy {
 		truth := groundtruth.FromTrace(trace)
 		if truth.Requests() == 0 {
 			return fmt.Errorf("trace has no ground-truth annotations (generate with rubisgen -truth)")
 		}
-		fmt.Printf("accuracy: %v\n", truth.Evaluate(res.Graphs))
+		fmt.Printf("accuracy: %v\n", truth.Evaluate(graphs))
 	}
 
 	if *patterns {
 		fmt.Println("\ncausal path patterns:")
-		for i, p := range cag.Classify(res.Graphs) {
+		for i, p := range cag.Classify(graphs) {
 			fmt.Printf("%3d. %-44s x%d\n", i+1, p.Name, p.Count())
 		}
 	}
 
 	if *report || *htmlOut != "" {
-		reports, err := analysis.Report(res.Graphs)
+		reports, err := analysis.Report(graphs)
 		if err != nil {
 			return err
 		}
@@ -241,8 +235,8 @@ func run() error {
 	}
 
 	var est *analysis.SkewEstimate
-	if *skewEst && len(res.Graphs) > 0 {
-		est = analysis.EstimateOffsets(res.Graphs, res.Graphs[0].Root().Ctx.Host)
+	if *skewEst && len(graphs) > 0 {
+		est = analysis.EstimateOffsets(graphs, graphs[0].Root().Ctx.Host)
 	}
 	if est != nil {
 		fmt.Printf("\nestimated clock offsets (relative to %s):\n", est.Reference)
@@ -256,19 +250,19 @@ func run() error {
 		if est != nil {
 			fmt.Println("(skew-corrected)")
 		}
-		fmt.Print(analysis.HopTable(analysis.HopDistributions(res.Graphs, est)))
+		fmt.Print(analysis.HopTable(analysis.HopDistributions(graphs, est)))
 	}
 
 	if *outliers > 0 {
 		fmt.Printf("\n%d slowest requests:\n", *outliers)
-		for i, o := range analysis.Outliers(res.Graphs, *outliers, est) {
+		for i, o := range analysis.Outliers(graphs, *outliers, est) {
 			fmt.Printf("%3d. %s\n", i+1, o)
 		}
 	}
 
-	for i := 0; i < *dumpN && i < len(res.Graphs); i++ {
-		fmt.Printf("\nCAG %d (latency %v):\n%s", i, res.Graphs[i].Latency(), cag.Dump(res.Graphs[i]))
-		fmt.Print(cag.Timeline(res.Graphs[i], 100))
+	for i := 0; i < *dumpN && i < len(graphs); i++ {
+		fmt.Printf("\nCAG %d (latency %v):\n%s", i, graphs[i].Latency(), cag.Dump(graphs[i]))
+		fmt.Print(cag.Timeline(graphs[i], 100))
 	}
 	return nil
 }

@@ -29,7 +29,16 @@
 //	                     binary batches, per-agent sequence/ack resume,
 //	                     TCP backpressure (§3.1 deployment)
 //	internal/live        online monitor over the CAG stream: interval
-//	                     aggregation, baselines, alerts, per-host lag
+//	                     aggregation, baselines, alerts, per-host lag;
+//	                     optional bounded-memory sketched accounting
+//	internal/sketch      streaming sketches behind the sketched monitor:
+//	                     space-saving heavy hitters, Greenwald-Khanna
+//	                     quantiles
+//	internal/export      export sinks for finished CAGs: OTLP-JSON span
+//	                     traces (file or HTTP), Graphviz DOT, canonical
+//	                     text dumps
+//	internal/cli         flag plumbing shared by the correlating CLIs
+//	                     (-workers, -sealafter, -export)
 //	internal/analysis    latency percentages, cross-run diffs, automated
 //	                     bottleneck detector (§5.4, §7)
 //	internal/baseline    naive and WAP5-style comparators (§6)
@@ -188,6 +197,63 @@
 // byte-identical to its unbatched equivalent. Errors remain sticky per
 // host; the first failure silences the rest of that host's records
 // within the batch and leaves other hosts untouched.
+//
+// # Export & live analytics
+//
+// Finished CAGs leave the pipeline through one composable contract:
+// core.GraphSink. Options.Sinks (and IngestOptions.Sinks for the
+// networked front) register any number of sinks on the session's
+// emission chain; each finished graph is delivered to every sink, in
+// registration order, on the emitter goroutine, in the same
+// deterministic END-timestamp order the OnGraph callback gets (OnGraph
+// is the single-callback special case and fires first). Registering
+// any sink switches the session to streaming: Result.Graphs stays
+// empty, exactly as with OnGraph; core.Collect is the sink that gathers
+// graphs back into a slice when a consumer wants both. Ownership
+// follows the pooled-record rules above: an emitted graph and its
+// vertices are immutable from emission on, so a sink may retain the
+// graph but must never mutate it — the underlying Records of a
+// networked run return to the activity pool, which is why export sinks
+// serialize eagerly in ConsumeGraph instead of deferring to Close.
+//
+// live.Monitor is itself a GraphSink, and internal/export provides the
+// rest: an OTLP-JSON exporter (NDJSON file or batched OTLP/HTTP POST),
+// a per-graph Graphviz DOT directory, and a canonical text dumper. Both
+// CLIs wire them with -export kind=dest[,kind=dest...] via internal/cli.
+// The OTLP mapping, one trace per CAG (export.Trace):
+//
+//	CAG                      OTLP span field
+//	vertex                   span; name "TYPE host/program"
+//	pattern signature        deterministic traceId (FNV-128a, 32 hex)
+//	vertex index             deterministic spanId (FNV-64a, 16 hex)
+//	context edge             parentSpanId + attribute cag.parent_edge=ctx
+//	message edge             span link (always), and parentSpanId with
+//	                         cag.parent_edge=msg when no context parent
+//	local timestamp          startTimeUnixNano (raw node-local nanos;
+//	                         cross-host skew stays visible, as in
+//	                         cag.Timeline); end = latest direct child
+//	ctx/chan/size            attributes cag.host, cag.program, cag.pid,
+//	                         cag.tid, net.channel, cag.size_bytes
+//	root vertex              adds cag.signature, cag.pattern,
+//	                         cag.latency_ns, cag.vertices
+//	forced seal / late link  span events cag.forced_seal, cag.late_link
+//	                         on the root span
+//
+// The monitor's default accounting retains each interval's CAGs per
+// signature and aggregates at interval close — exact, and memory grows
+// with the interval's traffic. live.Config.Sketched bounds it: a
+// space-saving sketch (sketch.TopK) tracks the top MaxPatterns
+// signatures per interval with one incremental analysis.Accumulator
+// each (error ≤ N/MaxPatterns, heavy hitters never lost), baselines are
+// evicted least-recently-seen beyond 2×MaxPatterns, and lifetime
+// latency/share distributions ride Greenwald-Khanna quantile sketches
+// (sketch.Quantile, rank error ≤ εN) surfaced by Monitor.QuantileTable.
+// Interval request counts and mean latency stay exact scalars in either
+// mode. With capacity to spare the sketched output is byte-identical to
+// exact mode (TestMonitorSketchedMatchesExact); under pressure it
+// degrades only the per-pattern view, within the sketch bounds, and
+// Monitor.Footprint exposes the state sizes the capacity soak gate
+// (TestMonitorSketchedCapacity) holds flat.
 //
 // Ownership is part of the contract. The collector decodes every frame
 // into pooled records (activity.NewRecord), the session copies whatever

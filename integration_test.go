@@ -161,7 +161,7 @@ func TestOnlineWorkflow(t *testing.T) {
 	monitor.Flush()
 
 	caught := false
-	for _, a := range monitor.Alerts() {
+	for _, a := range monitor.Stats().Alerts {
 		if a.Finding.Category == "mysqld2mysqld" {
 			caught = true
 		}

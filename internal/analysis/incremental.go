@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+)
+
+// Accumulator folds one pattern's per-graph latency observations into
+// the same PatternReport a post-hoc cag.Aggregate pass would produce —
+// the incremental form the sketched live monitor runs the Detector on.
+// It holds one duration per category regardless of how many graphs are
+// observed, so a bucket of accumulators is bounded by the pattern's
+// category count, not the interval's request count.
+//
+// Equivalence contract: Observe-ing every member of an isomorphic set
+// and calling Report yields byte-identical Shares/MeanLatency to
+// reportOf(cag.Aggregate(members)) in package live — the integer
+// divisions happen at Report time, in the same order, on the same sums
+// (TestAccumulatorMatchesAggregate pins this).
+type Accumulator struct {
+	Name      string
+	Signature string
+
+	count  int
+	latSum time.Duration
+	catSum map[string]time.Duration
+}
+
+// NewAccumulator returns an empty accumulator for one pattern.
+func NewAccumulator(name, signature string) *Accumulator {
+	return &Accumulator{
+		Name:      name,
+		Signature: signature,
+		catSum:    make(map[string]time.Duration),
+	}
+}
+
+// Observe folds one graph's end-to-end latency and per-category
+// critical-path sums (cag.ComponentLatencies) into the running totals.
+func (a *Accumulator) Observe(latency time.Duration, components map[string]time.Duration) {
+	a.count++
+	a.latSum += latency
+	for cat, d := range components {
+		a.catSum[cat] += d
+	}
+}
+
+// Count is the number of graphs observed.
+func (a *Accumulator) Count() int { return a.count }
+
+// Report materialises the PatternReport. Returns nil before any
+// observation (a zero-count mean is undefined).
+func (a *Accumulator) Report() *PatternReport {
+	if a.count == 0 {
+		return nil
+	}
+	n := time.Duration(a.count)
+	mean := a.latSum / n
+	rep := &PatternReport{
+		Name:        a.Name,
+		Signature:   a.Signature,
+		Count:       a.count,
+		MeanLatency: mean,
+	}
+	cats := make([]string, 0, len(a.catSum))
+	for c := range a.catSum {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		compMean := a.catSum[c] / n
+		var pct float64
+		if mean > 0 {
+			pct = 100 * float64(compMean) / float64(mean)
+		}
+		rep.Shares = append(rep.Shares, ComponentShare{
+			Category: c, Mean: compMean, Percent: pct,
+		})
+	}
+	return rep
+}

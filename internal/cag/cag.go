@@ -132,7 +132,28 @@ type Graph struct {
 	vertices []*Vertex
 	finished bool
 	end      *Vertex
+
+	// forcedSeal / lateLink record the streaming engine's provenance for
+	// this graph: whether its component was sealed by an activity-time
+	// horizon rather than host closure, and whether a straggler
+	// late-linked off it (either way the graph may be a split fragment
+	// of its request). Set once by the emitter; exported sinks surface
+	// them (the OTLP exporter maps them to span events).
+	forcedSeal bool
+	lateLink   bool
 }
+
+// SetProvenance records the emitting component's seal provenance; see
+// Provenance.
+func (g *Graph) SetProvenance(forced, late bool) {
+	g.forcedSeal = forced
+	g.lateLink = late
+}
+
+// Provenance reports whether the graph's component was force-sealed by
+// a horizon (forced) and whether a late link detached off it (late).
+// Both false for close-driven output.
+func (g *Graph) Provenance() (forced, late bool) { return g.forcedSeal, g.lateLink }
 
 // Errors reported by graph mutation.
 var (

@@ -74,8 +74,17 @@ type Options struct {
 	// goroutine in deterministic END-timestamp order, releasing graphs
 	// incrementally as the completion watermark advances; the offline
 	// replay fires the same callback while draining, before the Correlate
-	// call returns.
+	// call returns. OnGraph is the single-callback special case of Sinks;
+	// when both are set, OnGraph fires first.
 	OnGraph func(*cag.Graph)
+
+	// Sinks is the composable emission chain: every finished CAG is
+	// delivered to each sink in order, on the emitter goroutine, in the
+	// same deterministic END-timestamp order as OnGraph. Any registered
+	// sink streams the output (Result.Graphs stays empty); use a Collect
+	// sink to keep the batch view alongside streaming consumers. See
+	// GraphSink for the ownership contract.
+	Sinks []GraphSink
 
 	// Workers sizes the streaming engine's correlation pool. 0 or 1 keeps
 	// one worker goroutine — the sequential configuration, byte-identical
@@ -289,7 +298,7 @@ func ParseSealAfterSpec(spec string) (time.Duration, map[string]time.Duration, e
 // Result is the outcome of a correlation run.
 type Result struct {
 	// Graphs holds the finished CAGs in completion order (empty when
-	// streaming via OnGraph).
+	// streaming via OnGraph or Sinks).
 	Graphs []*cag.Graph
 
 	// CorrelationTime is the wall-clock time spent ranking + constructing —
@@ -440,8 +449,8 @@ func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*
 		return c.replaySources(sources, totalHint)
 	}
 	var engOpts []engine.Option
-	if c.opts.OnGraph != nil {
-		engOpts = append(engOpts, engine.WithOutputFunc(c.opts.OnGraph))
+	if deliver := c.opts.emitter(); deliver != nil {
+		engOpts = append(engOpts, engine.WithOutputFunc(deliver))
 	}
 	start := time.Now()
 	rk, eng := c.drive(sources, engOpts...)

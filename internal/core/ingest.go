@@ -47,6 +47,12 @@ type IngestOptions struct {
 	// by then. Single-record Push callers keep ownership of their records;
 	// only batched records are released.
 	Release func(a *activity.Activity)
+
+	// Sinks are appended to the wrapped session's emission chain before
+	// the ingest goroutine starts (see Options.Sinks and GraphSink).
+	// Sinks fire on the ingest goroutine — the same goroutine as
+	// OnApplied — so a live.Monitor registered here needs no locking.
+	Sinks []GraphSink
 }
 
 // Ingest is the serialized front of a Session: Sessions demand
@@ -110,6 +116,9 @@ func NewIngest(s *Session, opts IngestOptions) *Ingest {
 		ops:     make(chan ingestOp, opts.Buffer),
 		hostErr: make(map[string]error),
 		done:    make(chan struct{}),
+	}
+	for _, sink := range opts.Sinks {
+		s.AddSink(sink)
 	}
 	go in.run()
 	return in

@@ -56,6 +56,7 @@ type sessionImpl interface {
 	Close() *Result
 	Graphs() []*cag.Graph
 	Pending() int
+	AddSink(sink GraphSink)
 }
 
 // NewSession opens an online session for the given traced hosts. Every
@@ -137,8 +138,15 @@ func (s *Session) Heartbeat(host string, ts time.Duration) error { return s.impl
 // final result. Closing twice returns the same result.
 func (s *Session) Close() *Result { return s.impl.Close() }
 
+// AddSink appends one sink to the session's emission chain (see
+// Options.Sinks). It must be called before the first Push: the chain is
+// rebuilt in place and is not synchronized against in-flight emission.
+// Registering any sink switches the session to streaming —
+// Result.Graphs stays empty.
+func (s *Session) AddSink(sink GraphSink) { s.impl.AddSink(sink) }
+
 // Graphs returns the CAGs completed so far (when not streaming via
-// OnGraph).
+// OnGraph or Sinks).
 func (s *Session) Graphs() []*cag.Graph { return s.impl.Graphs() }
 
 // Pending returns the number of activities buffered but not yet
@@ -170,6 +178,7 @@ type globalSession struct {
 func newGlobalSession(opts Options, hosts []string) *globalSession {
 	drvOpts := opts
 	drvOpts.OnGraph = nil
+	drvOpts.Sinks = nil
 	g := &globalSession{
 		opts:    opts,
 		drv:     New(drvOpts),
@@ -255,8 +264,8 @@ func (g *globalSession) Close() *Result {
 		sources = append(sources, ranker.NewSliceSource(h, g.perHost[h]))
 	}
 	var engOpts []engine.Option
-	if g.opts.OnGraph != nil {
-		engOpts = append(engOpts, engine.WithOutputFunc(g.opts.OnGraph))
+	if deliver := g.opts.emitter(); deliver != nil {
+		engOpts = append(engOpts, engine.WithOutputFunc(deliver))
 	}
 	start := time.Now()
 	rk, eng := g.drv.drive(sources, engOpts...)
@@ -271,6 +280,12 @@ func (g *globalSession) Close() *Result {
 		SequentialFallback:     g.fallback,
 	}
 	return g.final
+}
+
+// AddSink implements sessionImpl: the global pass delivers through the
+// same fused chain at Close.
+func (g *globalSession) AddSink(sink GraphSink) {
+	g.opts.Sinks = append(g.opts.Sinks, sink)
 }
 
 // Graphs implements sessionImpl.

@@ -101,7 +101,12 @@ type streamSession struct {
 
 	finished []taggedGraph // correlated, held back by the watermark
 	unsorted bool          // finished gained graphs since the last sort
-	emitted  []*cag.Graph  // released (when not streaming via OnGraph)
+	emitted  []*cag.Graph  // released (when not streaming via OnGraph/Sinks)
+
+	// deliver is the fused emission chain (Options.OnGraph + every
+	// registered sink), nil when the session accumulates into emitted.
+	// Rebuilt by AddSink, which must run before the first Push.
+	deliver func(*cag.Graph)
 
 	pushed      int
 	pendingActs int
@@ -183,6 +188,8 @@ type sessComponent struct {
 	runs    []hostRun      // buffered records, one run per contributing host
 	contrib []activity.Sym // declared hosts that may still extend it
 	sealed  bool
+	forced  bool  // sealed by a horizon, not by host closure
+	late    bool  // received a straggler that late-linked off a sealed shard
 	root    int32 // current union-find root
 
 	// runs0 and contrib0 are inline backing storage: most components
@@ -273,6 +280,7 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 	drvOpts := opts
 	drvOpts.Workers = 0
 	drvOpts.OnGraph = nil
+	drvOpts.Sinks = nil
 	s := &streamSession{
 		opts:       opts,
 		workers:    workers,
@@ -285,6 +293,7 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 		continuous: opts.continuousConfigured(),
 		maxHorizon: opts.maxHorizon(),
 	}
+	s.deliver = opts.emitter()
 	s.inc = flow.NewIncremental(opts.ShardBy.flowMode(), s.mergeComponents)
 	if s.continuous {
 		// Continuous mode retires dispatched components; the close-driven
@@ -416,6 +425,7 @@ func (s *streamSession) replayPush(cp *activity.Activity) {
 // buffers it in per-host push order. The caller owns cp, which must be
 // bound.
 func (s *streamSession) ingest(cp *activity.Activity, h *sessHost) {
+	lateBefore := s.inc.LateLinks()
 	root := s.inc.Add(cp)
 	c := s.comps[root]
 	if c == nil || c.sealed {
@@ -425,6 +435,12 @@ func (s *streamSession) ingest(cp *activity.Activity, h *sessHost) {
 		c = newSessComponent(s.nextCompID, cp.Timestamp, root)
 		s.nextCompID++
 		s.comps[root] = c
+	}
+	if s.inc.LateLinks() > lateBefore {
+		// This record genuinely linked to a tombstoned component and was
+		// detached onto this one: its graphs may be split fragments of a
+		// dispatched request — tag the provenance for downstream sinks.
+		c.late = true
 	}
 	c.appendRec(cp.CtxK.Host, pushRec{a: cp, seq: h.seq})
 	if cp.Timestamp < c.minTs {
@@ -555,6 +571,9 @@ func (s *streamSession) fuse(a, b *sessComponent, root int32) *sessComponent {
 	if b.id < a.id {
 		a.id = b.id
 	}
+	if b.late {
+		a.late = true
+	}
 	a.size += b.size
 	a.root = root
 	return a
@@ -658,6 +677,7 @@ func (s *streamSession) sealStale() {
 		if horizon <= 0 || c.maxTs >= s.maxTs-horizon {
 			continue
 		}
+		c.forced = true
 		ready = append(ready, c)
 	}
 	s.forcedSeals += len(ready)
@@ -746,6 +766,9 @@ func (s *streamSession) absorb(r sessShardResult) {
 		s.peakVert = r.peakResident
 	}
 	for pos, g := range r.graphs {
+		if r.comp.forced || r.comp.late {
+			g.SetProvenance(r.comp.forced, r.comp.late)
+		}
 		s.finished = append(s.finished, taggedGraph{g: g, comp: r.comp.id, pos: pos})
 	}
 	if len(r.graphs) > 0 {
@@ -836,8 +859,8 @@ func (s *streamSession) emit(all bool) {
 		return
 	}
 	for _, t := range s.finished[:cut] {
-		if s.opts.OnGraph != nil {
-			s.opts.OnGraph(t.g)
+		if s.deliver != nil {
+			s.deliver(t.g)
 		} else {
 			s.emitted = append(s.emitted, t.g)
 		}
@@ -891,6 +914,14 @@ func (s *streamSession) Close() *Result {
 		LateLinks:              s.inc.LateLinks(),
 	}
 	return s.final
+}
+
+// AddSink implements sessionImpl: append one sink to the emission chain
+// and rebuild the fused delivery function. Must run before the first
+// Push — the chain is not synchronized against in-flight emission.
+func (s *streamSession) AddSink(sink GraphSink) {
+	s.opts.Sinks = append(s.opts.Sinks, sink)
+	s.deliver = s.opts.emitter()
 }
 
 // Graphs implements sessionImpl.

@@ -1,0 +1,354 @@
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/cag"
+)
+
+// buildPath builds the canonical two-tier request graph: six vertices
+// on web1/httpd and app1/java, a message round trip, and the extra
+// context edge into the RECEIVE — the same shape the analysis and live
+// tests use.
+func buildPath(t testing.TB, hop time.Duration, salt int) *cag.Graph {
+	t.Helper()
+	httpd := activity.Context{Host: "web1", Program: "httpd", PID: salt, TID: salt}
+	java := activity.Context{Host: "app1", Program: "java", PID: 2, TID: 100 + salt}
+	cch := activity.Channel{Src: activity.Endpoint{IP: "c", Port: 1000 + salt}, Dst: activity.Endpoint{IP: "w", Port: 80}}
+	wch := activity.Channel{Src: activity.Endpoint{IP: "w", Port: 2000 + salt}, Dst: activity.Endpoint{IP: "a", Port: 8009}}
+
+	ts := func(i int) time.Duration { return time.Duration(i) * hop }
+	g := cag.New(&cag.Vertex{Type: activity.Begin, Timestamp: ts(0), Ctx: httpd, Chan: cch})
+	s1 := &cag.Vertex{Type: activity.Send, Timestamp: ts(1), Ctx: httpd, Chan: wch, Size: 512}
+	if err := g.AddVertex(s1, cag.ContextEdge, g.Root()); err != nil {
+		t.Fatal(err)
+	}
+	r1 := &cag.Vertex{Type: activity.Receive, Timestamp: ts(2), Ctx: java, Chan: wch, Size: 512}
+	if err := g.AddVertex(r1, cag.MessageEdge, s1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := &cag.Vertex{Type: activity.Send, Timestamp: ts(3), Ctx: java, Chan: wch.Reverse(), Size: 2048}
+	if err := g.AddVertex(s2, cag.ContextEdge, r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := &cag.Vertex{Type: activity.Receive, Timestamp: ts(4), Ctx: httpd, Chan: wch.Reverse(), Size: 2048}
+	if err := g.AddVertex(r2, cag.MessageEdge, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(cag.ContextEdge, s1, r2); err != nil {
+		t.Fatal(err)
+	}
+	end := &cag.Vertex{Type: activity.End, Timestamp: ts(5), Ctx: httpd, Chan: cch.Reverse()}
+	if err := g.AddVertex(end, cag.ContextEdge, r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+type edge struct{ from, to int }
+
+// dotEdges parses the edge lines out of cag.ToDOT — the reference edge
+// sets the OTLP span tree must reproduce.
+func dotEdges(t *testing.T, dot string) (ctx, msg []edge) {
+	t.Helper()
+	re := regexp.MustCompile(`v(\d+) -> v(\d+) \[style=(solid|dashed)`)
+	for _, m := range re.FindAllStringSubmatch(dot, -1) {
+		var e edge
+		fmt.Sscanf(m[1], "%d", &e.from)
+		fmt.Sscanf(m[2], "%d", &e.to)
+		if m[3] == "solid" {
+			ctx = append(ctx, e)
+		} else {
+			msg = append(msg, e)
+		}
+	}
+	return ctx, msg
+}
+
+func attr(sp Span, key string) (string, bool) {
+	for _, kv := range sp.Attributes {
+		if kv.Key != key {
+			continue
+		}
+		if kv.Value.StringValue != nil {
+			return *kv.Value.StringValue, true
+		}
+		if kv.Value.IntValue != nil {
+			return *kv.Value.IntValue, true
+		}
+	}
+	return "", false
+}
+
+// TestTraceMatchesDOT pins the acceptance criterion: the exported span
+// tree carries exactly the vertex/edge structure of the DOT render —
+// context edges as parentSpanId links tagged ctx, message edges as span
+// links — and round-trips through encoding/json as valid OTLP-JSON.
+func TestTraceMatchesDOT(t *testing.T) {
+	g := buildPath(t, 3*time.Millisecond, 7)
+	g.SetProvenance(true, true)
+
+	raw, err := json.Marshal(Trace(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		t.Fatalf("re-parse OTLP-JSON: %v", err)
+	}
+	if len(req.ResourceSpans) != 1 || len(req.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("shape = %d resourceSpans", len(req.ResourceSpans))
+	}
+	if v, _ := attr(Span{Attributes: req.ResourceSpans[0].Resource.Attributes}, "service.name"); v != "precisetracer" {
+		t.Fatalf("service.name = %q", v)
+	}
+	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != g.Len() {
+		t.Fatalf("spans = %d, want %d", len(spans), g.Len())
+	}
+
+	traceID := TraceID(g)
+	if len(traceID) != 32 || traceID == strings.Repeat("0", 32) {
+		t.Fatalf("traceId = %q", traceID)
+	}
+	spanIdx := make(map[string]int) // spanId -> vertex index
+	for i := range spans {
+		if spans[i].TraceID != traceID {
+			t.Fatalf("span %d traceId = %q", i, spans[i].TraceID)
+		}
+		if want := SpanID(traceID, i); spans[i].SpanID != want {
+			t.Fatalf("span %d spanId = %q, want %q", i, spans[i].SpanID, want)
+		}
+		spanIdx[spans[i].SpanID] = i
+	}
+
+	// Reconstruct the edge sets from the spans.
+	var gotCtx, gotMsg []edge
+	for i, sp := range spans {
+		kind, _ := attr(sp, "cag.parent_edge")
+		if sp.ParentSpanID != "" && kind == "ctx" {
+			gotCtx = append(gotCtx, edge{from: spanIdx[sp.ParentSpanID], to: i})
+		}
+		for _, l := range sp.Links {
+			gotMsg = append(gotMsg, edge{from: spanIdx[l.SpanID], to: i})
+		}
+		if sp.ParentSpanID != "" && kind == "msg" {
+			// A msg parent must also appear among the links.
+			found := false
+			for _, l := range sp.Links {
+				if l.SpanID == sp.ParentSpanID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("span %d: msg parent missing from links", i)
+			}
+		}
+	}
+	wantCtx, wantMsg := dotEdges(t, cag.ToDOT(g, cag.PatternName(g)))
+	assertEdges(t, "ctx", gotCtx, wantCtx)
+	assertEdges(t, "msg", gotMsg, wantMsg)
+
+	// Vertex metadata: name, type, host, times.
+	for i, sp := range spans {
+		v := g.Vertex(i)
+		if want := fmt.Sprintf("%s %s/%s", v.Type, v.Ctx.Host, v.Ctx.Program); sp.Name != want {
+			t.Fatalf("span %d name = %q, want %q", i, sp.Name, want)
+		}
+		if want := fmt.Sprintf("%d", v.Timestamp.Nanoseconds()); sp.StartTimeUnixNano != want {
+			t.Fatalf("span %d start = %q, want %q", i, sp.StartTimeUnixNano, want)
+		}
+		var start, end int64
+		fmt.Sscanf(sp.StartTimeUnixNano, "%d", &start)
+		fmt.Sscanf(sp.EndTimeUnixNano, "%d", &end)
+		if end < start {
+			t.Fatalf("span %d ends (%d) before it starts (%d)", i, end, start)
+		}
+	}
+
+	// Root carries identity attributes and the provenance events.
+	root := spans[0]
+	if sig, _ := attr(root, "cag.signature"); sig != cag.Signature(g) {
+		t.Fatalf("root signature = %q", sig)
+	}
+	if pat, _ := attr(root, "cag.pattern"); pat != cag.PatternName(g) {
+		t.Fatalf("root pattern = %q", pat)
+	}
+	if lat, _ := attr(root, "cag.latency_ns"); lat != fmt.Sprintf("%d", g.Latency().Nanoseconds()) {
+		t.Fatalf("root latency = %q", lat)
+	}
+	names := make([]string, 0, 2)
+	for _, ev := range root.Events {
+		names = append(names, ev.Name)
+	}
+	if len(names) != 2 || names[0] != "cag.forced_seal" || names[1] != "cag.late_link" {
+		t.Fatalf("root events = %v", names)
+	}
+}
+
+func assertEdges(t *testing.T, kind string, got, want []edge) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s edges = %v, want %v", kind, got, want)
+	}
+	seen := make(map[edge]bool, len(want))
+	for _, e := range want {
+		seen[e] = true
+	}
+	for _, e := range got {
+		if !seen[e] {
+			t.Fatalf("%s edge %v not in DOT render (%v)", kind, e, want)
+		}
+	}
+}
+
+// TestTraceIDDeterministic pins ID stability and distinctness.
+func TestTraceIDDeterministic(t *testing.T) {
+	a := buildPath(t, 2*time.Millisecond, 1)
+	b := buildPath(t, 2*time.Millisecond, 2)
+	if TraceID(a) != TraceID(a) {
+		t.Fatal("traceId not stable")
+	}
+	if TraceID(a) == TraceID(b) {
+		t.Fatal("distinct requests share a traceId")
+	}
+	if SpanID(TraceID(a), 0) == SpanID(TraceID(a), 1) {
+		t.Fatal("span ids collide across indices")
+	}
+}
+
+func TestFileExporterNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.ndjson")
+	e, err := NewFileExporter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e.ConsumeGraph(buildPath(t, time.Millisecond, i))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Graphs() != 3 || e.Spans() != 18 {
+		t.Fatalf("graphs/spans = %d/%d", e.Graphs(), e.Spans())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		var req Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if n := len(req.ResourceSpans[0].ScopeSpans[0].Spans); n != 6 {
+			t.Fatalf("line %d: spans = %d", lines+1, n)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("lines = %d, want 3", lines)
+	}
+}
+
+func TestHTTPExporterBatches(t *testing.T) {
+	var posts int
+	var spans int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		for _, rs := range req.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				spans += len(ss.Spans)
+			}
+		}
+		posts++
+	}))
+	defer srv.Close()
+
+	h := NewHTTPExporter(srv.URL)
+	h.SetBatchSize(2)
+	for i := 0; i < 5; i++ {
+		h.ConsumeGraph(buildPath(t, time.Millisecond, i))
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if posts != 3 || h.Posts() != 3 {
+		t.Fatalf("posts = %d/%d, want 3", posts, h.Posts())
+	}
+	if spans != 30 {
+		t.Fatalf("spans = %d, want 30", spans)
+	}
+}
+
+func TestHTTPExporterStickyError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	h := NewHTTPExporter(srv.URL)
+	h.SetBatchSize(1)
+	h.ConsumeGraph(buildPath(t, time.Millisecond, 0))
+	if h.Err() == nil {
+		t.Fatal("expected sticky error after 502")
+	}
+	h.ConsumeGraph(buildPath(t, time.Millisecond, 1))
+	if err := h.Close(); err == nil || !strings.Contains(err.Error(), "502") {
+		t.Fatalf("close err = %v", err)
+	}
+}
+
+func TestDOTDirSink(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dots")
+	d, err := NewDOTDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildPath(t, time.Millisecond, 3)
+	d.ConsumeGraph(g)
+	d.ConsumeGraph(buildPath(t, time.Millisecond, 4))
+	if d.Err() != nil || d.Graphs() != 2 {
+		t.Fatalf("err=%v graphs=%d", d.Err(), d.Graphs())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "cag-000001.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != cag.ToDOT(g, cag.PatternName(g)) {
+		t.Fatal("dot file differs from ToDOT render")
+	}
+}
+
+func TestDumpWriterSink(t *testing.T) {
+	var b strings.Builder
+	d := NewDumpWriter(&b)
+	g := buildPath(t, time.Millisecond, 5)
+	d.ConsumeGraph(g)
+	out := b.String()
+	if !strings.Contains(out, "=== graph 1 ") || !strings.Contains(out, cag.Dump(g)) {
+		t.Fatalf("dump output missing sections:\n%s", out)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package export turns finished CAGs into external formats: OTLP-JSON
+// spans (the OpenTelemetry wire shape, so any OTLP-compatible backend
+// can render a correlated request as a distributed trace), Graphviz DOT
+// files, and canonical textual dumps. Every emitter implements
+// core.GraphSink so it plugs into the session's emission chain next to
+// a live.Monitor.
+//
+// The span mapping (one trace per CAG):
+//
+//	CAG vertex            → span (name "TYPE host/program")
+//	adjacent context edge → parentSpanId (attribute cag.parent_edge=ctx)
+//	message edge          → span link; also the parent when the vertex
+//	                        has no context parent (cag.parent_edge=msg)
+//	forced seal / late link provenance → span events on the root span
+//
+// Timestamps are the node-local activity times rendered as unix-nano
+// strings; cross-host spans therefore show raw skew, exactly like the
+// cag.Timeline rendering. Trace and span IDs are deterministic FNV
+// hashes of the graph's identity, so re-exporting the same trace is
+// idempotent.
+package export
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"repro/internal/activity"
+	"repro/internal/cag"
+)
+
+// The structs below mirror the OTLP/JSON encoding of
+// opentelemetry-proto's ExportTraceServiceRequest: lowerCamelCase keys,
+// hex-encoded IDs, and 64-bit integers carried as decimal strings.
+
+// Request is one ExportTraceServiceRequest payload.
+type Request struct {
+	ResourceSpans []ResourceSpans `json:"resourceSpans"`
+}
+
+// ResourceSpans groups the spans of one resource.
+type ResourceSpans struct {
+	Resource   Resource     `json:"resource"`
+	ScopeSpans []ScopeSpans `json:"scopeSpans"`
+}
+
+// Resource identifies the emitting service.
+type Resource struct {
+	Attributes []KeyValue `json:"attributes,omitempty"`
+}
+
+// ScopeSpans groups the spans of one instrumentation scope.
+type ScopeSpans struct {
+	Scope Scope  `json:"scope"`
+	Spans []Span `json:"spans"`
+}
+
+// Scope names the instrumentation that produced the spans.
+type Scope struct {
+	Name string `json:"name"`
+}
+
+// Span is one OTLP span.
+type Span struct {
+	TraceID           string     `json:"traceId"`
+	SpanID            string     `json:"spanId"`
+	ParentSpanID      string     `json:"parentSpanId,omitempty"`
+	Name              string     `json:"name"`
+	Kind              int        `json:"kind,omitempty"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	Attributes        []KeyValue `json:"attributes,omitempty"`
+	Events            []Event    `json:"events,omitempty"`
+	Links             []Link     `json:"links,omitempty"`
+}
+
+// Event is one timestamped span event.
+type Event struct {
+	TimeUnixNano string     `json:"timeUnixNano"`
+	Name         string     `json:"name"`
+	Attributes   []KeyValue `json:"attributes,omitempty"`
+}
+
+// Link points at another span (here: always within the same trace).
+type Link struct {
+	TraceID    string     `json:"traceId"`
+	SpanID     string     `json:"spanId"`
+	Attributes []KeyValue `json:"attributes,omitempty"`
+}
+
+// KeyValue is one attribute.
+type KeyValue struct {
+	Key   string   `json:"key"`
+	Value AnyValue `json:"value"`
+}
+
+// AnyValue carries a string or int attribute value. OTLP/JSON renders
+// 64-bit integers as decimal strings.
+type AnyValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"`
+}
+
+// Str builds a string attribute.
+func Str(key, val string) KeyValue {
+	return KeyValue{Key: key, Value: AnyValue{StringValue: &val}}
+}
+
+// Int builds an integer attribute.
+func Int(key string, val int64) KeyValue {
+	s := strconv.FormatInt(val, 10)
+	return KeyValue{Key: key, Value: AnyValue{IntValue: &s}}
+}
+
+// spanKindInternal is OTLP's SPAN_KIND_INTERNAL.
+const spanKindInternal = 1
+
+// TraceID derives the deterministic 32-hex-digit trace ID of a graph:
+// FNV-128a over the pattern signature, root/end timestamps and the
+// first underlying record ID — stable across re-exports, distinct
+// across requests of the same pattern. The all-zero ID (invalid in
+// OTLP) is remapped.
+func TraceID(g *cag.Graph) string {
+	h := fnv.New128a()
+	fmt.Fprintf(h, "%s|%d|", cag.Signature(g), g.Len())
+	if root := g.Root(); root != nil {
+		fmt.Fprintf(h, "%d|%s|", root.Timestamp, root.Ctx)
+		if len(root.Records) > 0 {
+			fmt.Fprintf(h, "%d|", root.Records[0].ID)
+		}
+	}
+	if end := g.End(); end != nil {
+		fmt.Fprintf(h, "%d", end.Timestamp)
+	}
+	sum := h.Sum(nil)
+	zero := true
+	for _, b := range sum {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		sum[len(sum)-1] = 1
+	}
+	return fmt.Sprintf("%x", sum)
+}
+
+// SpanID derives the deterministic 16-hex-digit span ID of vertex index
+// within the given trace.
+func SpanID(traceID string, index int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", traceID, index)
+	sum := h.Sum64()
+	if sum == 0 {
+		sum = 1
+	}
+	return fmt.Sprintf("%016x", sum)
+}
+
+// Trace converts one finished CAG into an OTLP export request holding a
+// single trace, per the package mapping table.
+func Trace(g *cag.Graph) Request {
+	traceID := TraceID(g)
+	spans := make([]Span, 0, g.Len())
+	for i := 0; i < g.Len(); i++ {
+		v := g.Vertex(i)
+		sp := Span{
+			TraceID:           traceID,
+			SpanID:            SpanID(traceID, i),
+			Name:              fmt.Sprintf("%s %s/%s", v.Type, v.Ctx.Host, v.Ctx.Program),
+			Kind:              spanKindInternal,
+			StartTimeUnixNano: nanos(v.Timestamp.Nanoseconds()),
+			EndTimeUnixNano:   nanos(spanEnd(v)),
+		}
+		sp.Attributes = append(sp.Attributes,
+			Str("cag.type", v.Type.String()),
+			Str("cag.host", v.Ctx.Host),
+			Str("cag.program", v.Ctx.Program),
+			Int("cag.pid", int64(v.Ctx.PID)),
+			Int("cag.tid", int64(v.Ctx.TID)),
+		)
+		switch {
+		case v.CtxParent() != nil:
+			sp.ParentSpanID = SpanID(traceID, v.CtxParent().Index())
+			sp.Attributes = append(sp.Attributes, Str("cag.parent_edge", "ctx"))
+		case v.MsgParent() != nil:
+			sp.ParentSpanID = SpanID(traceID, v.MsgParent().Index())
+			sp.Attributes = append(sp.Attributes, Str("cag.parent_edge", "msg"))
+		}
+		if v.Chan != (activity.Channel{}) {
+			sp.Attributes = append(sp.Attributes, Str("net.channel", v.Chan.String()))
+		}
+		if v.Size > 0 {
+			sp.Attributes = append(sp.Attributes, Int("cag.size_bytes", v.Size))
+		}
+		// Message edges are always links, even when one doubles as the
+		// parent — a backend can reconstruct the full edge set from
+		// links (msg) plus parent_edge=ctx parents (ctx).
+		if p := v.MsgParent(); p != nil {
+			sp.Links = append(sp.Links, Link{
+				TraceID:    traceID,
+				SpanID:     SpanID(traceID, p.Index()),
+				Attributes: []KeyValue{Str("cag.edge", "msg")},
+			})
+		}
+		if i == 0 {
+			sp.Attributes = append(sp.Attributes,
+				Str("cag.signature", cag.Signature(g)),
+				Str("cag.pattern", cag.PatternName(g)),
+				Int("cag.latency_ns", g.Latency().Nanoseconds()),
+				Int("cag.vertices", int64(g.Len())),
+			)
+			endNano := sp.EndTimeUnixNano
+			forced, late := g.Provenance()
+			if forced {
+				sp.Events = append(sp.Events, Event{TimeUnixNano: endNano, Name: "cag.forced_seal"})
+			}
+			if late {
+				sp.Events = append(sp.Events, Event{TimeUnixNano: endNano, Name: "cag.late_link"})
+			}
+		}
+		spans = append(spans, sp)
+	}
+	return Request{ResourceSpans: []ResourceSpans{{
+		Resource: Resource{Attributes: []KeyValue{Str("service.name", "precisetracer")}},
+		ScopeSpans: []ScopeSpans{{
+			Scope: Scope{Name: "repro/internal/export"},
+			Spans: spans,
+		}},
+	}}}
+}
+
+// spanEnd is the vertex's span end time: the latest direct-child
+// timestamp (the work the activity caused), or its own when it is a
+// leaf — so a SEND span covers the network hop to its RECEIVE.
+func spanEnd(v *cag.Vertex) int64 {
+	end := v.Timestamp
+	_, children := v.Children()
+	for _, c := range children {
+		if c.Timestamp > end {
+			end = c.Timestamp
+		}
+	}
+	return end.Nanoseconds()
+}
+
+func nanos(n int64) string { return strconv.FormatInt(n, 10) }

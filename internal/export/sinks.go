@@ -1,0 +1,262 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cag"
+)
+
+// Exporter streams one OTLP-JSON export request per graph, one JSON
+// object per line (NDJSON — the shape the OpenTelemetry collector's
+// file receiver replays). Errors are sticky: the first write failure
+// silences all further output and is reported by Err and Close, so a
+// full pipeline run never aborts mid-stream on a dead disk.
+//
+// Exporter implements core.GraphSink. Like every sink it runs on the
+// emitter goroutine; no locking is needed.
+type Exporter struct {
+	w      io.Writer
+	c      io.Closer
+	enc    *json.Encoder
+	err    error
+	graphs int
+	spans  int
+}
+
+// NewExporter writes OTLP-JSON lines to w.
+func NewExporter(w io.Writer) *Exporter {
+	return &Exporter{w: w, enc: json.NewEncoder(w)}
+}
+
+// NewFileExporter creates (truncates) path and writes OTLP-JSON lines
+// to it. Close flushes and closes the file.
+func NewFileExporter(path string) (*Exporter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	e := NewExporter(f)
+	e.c = f
+	return e, nil
+}
+
+// ConsumeGraph implements core.GraphSink.
+func (e *Exporter) ConsumeGraph(g *cag.Graph) {
+	if e.err != nil {
+		return
+	}
+	req := Trace(g)
+	if err := e.enc.Encode(req); err != nil {
+		e.err = fmt.Errorf("export: %w", err)
+		return
+	}
+	e.graphs++
+	for _, rs := range req.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			e.spans += len(ss.Spans)
+		}
+	}
+}
+
+// Graphs returns the number of traces exported so far.
+func (e *Exporter) Graphs() int { return e.graphs }
+
+// Spans returns the number of spans exported so far.
+func (e *Exporter) Spans() int { return e.spans }
+
+// Err returns the sticky error, if any.
+func (e *Exporter) Err() error { return e.err }
+
+// Close closes the underlying file (when opened by NewFileExporter) and
+// returns the sticky error.
+func (e *Exporter) Close() error {
+	if e.c != nil {
+		if err := e.c.Close(); err != nil && e.err == nil {
+			e.err = fmt.Errorf("export: %w", err)
+		}
+		e.c = nil
+	}
+	return e.err
+}
+
+// HTTPExporter POSTs OTLP-JSON export requests to an OTLP/HTTP traces
+// endpoint (conventionally …/v1/traces), batching BatchSize graphs per
+// request. Errors are sticky, like Exporter's. Close flushes the final
+// partial batch.
+type HTTPExporter struct {
+	url    string
+	client *http.Client
+
+	batchSize int
+	batch     []ResourceSpans
+	err       error
+	graphs    int
+	posts     int
+}
+
+// DefaultHTTPBatch is the number of graphs coalesced per POST.
+const DefaultHTTPBatch = 64
+
+// NewHTTPExporter targets url with http.DefaultClient and the default
+// batch size.
+func NewHTTPExporter(url string) *HTTPExporter {
+	return &HTTPExporter{url: url, client: http.DefaultClient, batchSize: DefaultHTTPBatch}
+}
+
+// SetClient overrides the HTTP client (tests, timeouts).
+func (h *HTTPExporter) SetClient(c *http.Client) { h.client = c }
+
+// SetBatchSize overrides the graphs-per-POST coalescing factor.
+func (h *HTTPExporter) SetBatchSize(n int) {
+	if n > 0 {
+		h.batchSize = n
+	}
+}
+
+// ConsumeGraph implements core.GraphSink.
+func (h *HTTPExporter) ConsumeGraph(g *cag.Graph) {
+	if h.err != nil {
+		return
+	}
+	h.batch = append(h.batch, Trace(g).ResourceSpans...)
+	h.graphs++
+	if len(h.batch) >= h.batchSize {
+		h.flush()
+	}
+}
+
+func (h *HTTPExporter) flush() {
+	if h.err != nil || len(h.batch) == 0 {
+		return
+	}
+	body, err := json.Marshal(Request{ResourceSpans: h.batch})
+	if err != nil {
+		h.err = fmt.Errorf("export: %w", err)
+		return
+	}
+	h.batch = h.batch[:0]
+	resp, err := h.client.Post(h.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		h.err = fmt.Errorf("export: %w", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		h.err = fmt.Errorf("export: %s returned %s", h.url, resp.Status)
+	}
+	h.posts++
+}
+
+// Graphs returns the number of graphs accepted so far (including any
+// still buffered).
+func (h *HTTPExporter) Graphs() int { return h.graphs }
+
+// Posts returns the number of successful HTTP flushes.
+func (h *HTTPExporter) Posts() int { return h.posts }
+
+// Err returns the sticky error, if any.
+func (h *HTTPExporter) Err() error { return h.err }
+
+// Close flushes the trailing partial batch and returns the sticky
+// error.
+func (h *HTTPExporter) Close() error {
+	h.flush()
+	return h.err
+}
+
+// DOTDir writes each emitted graph as a standalone Graphviz file
+// (cag-000001.dot, cag-000002.dot, …) titled with its pattern name —
+// the per-graph form of the CLI's -dot flag, usable as a sink while a
+// live monitor runs alongside. Errors are sticky.
+type DOTDir struct {
+	dir string
+	n   int
+	err error
+}
+
+// NewDOTDir creates dir (if needed) and returns the sink.
+func NewDOTDir(dir string) (*DOTDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	return &DOTDir{dir: dir}, nil
+}
+
+// ConsumeGraph implements core.GraphSink.
+func (d *DOTDir) ConsumeGraph(g *cag.Graph) {
+	if d.err != nil {
+		return
+	}
+	d.n++
+	path := filepath.Join(d.dir, fmt.Sprintf("cag-%06d.dot", d.n))
+	if err := os.WriteFile(path, []byte(cag.ToDOT(g, cag.PatternName(g))), 0o644); err != nil {
+		d.err = fmt.Errorf("export: %w", err)
+	}
+}
+
+// Graphs returns the number of files written.
+func (d *DOTDir) Graphs() int { return d.n }
+
+// Err returns the sticky error, if any.
+func (d *DOTDir) Err() error { return d.err }
+
+// DumpWriter appends each emitted graph's canonical textual dump —
+// cag.Dump plus an identity header — to one writer, the golden-capture
+// form used to byte-diff two pipeline runs. Errors are sticky.
+type DumpWriter struct {
+	w   io.Writer
+	c   io.Closer
+	n   int
+	err error
+}
+
+// NewDumpWriter writes dumps to w.
+func NewDumpWriter(w io.Writer) *DumpWriter { return &DumpWriter{w: w} }
+
+// NewDumpFile creates (truncates) path for dump output; Close closes it.
+func NewDumpFile(path string) (*DumpWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	return &DumpWriter{w: f, c: f}, nil
+}
+
+// ConsumeGraph implements core.GraphSink.
+func (d *DumpWriter) ConsumeGraph(g *cag.Graph) {
+	if d.err != nil {
+		return
+	}
+	d.n++
+	forced, late := g.Provenance()
+	_, err := fmt.Fprintf(d.w, "=== graph %d pattern=%q latency=%v forced=%v late=%v\n%s\n",
+		d.n, cag.PatternName(g), g.Latency(), forced, late, cag.Dump(g))
+	if err != nil {
+		d.err = fmt.Errorf("export: %w", err)
+	}
+}
+
+// Graphs returns the number of dumps written.
+func (d *DumpWriter) Graphs() int { return d.n }
+
+// Err returns the sticky error, if any.
+func (d *DumpWriter) Err() error { return d.err }
+
+// Close closes the underlying file (when opened by NewDumpFile) and
+// returns the sticky error.
+func (d *DumpWriter) Close() error {
+	if d.c != nil {
+		if err := d.c.Close(); err != nil && d.err == nil {
+			d.err = fmt.Errorf("export: %w", err)
+		}
+		d.c = nil
+	}
+	return d.err
+}

@@ -1,11 +1,23 @@
 // Package live turns the offline analysis of §5.4 into an online monitor:
-// finished CAGs stream in (via core.Options.OnGraph), are bucketed into
-// fixed wall-of-virtual-time intervals per causal path pattern, and each
+// finished CAGs stream in (the Monitor is a core.GraphSink — register it
+// in core.Options.Sinks or IngestOptions.Sinks), are bucketed into fixed
+// wall-of-virtual-time intervals per causal path pattern, and each
 // closed interval is compared against a rolling baseline with the
 // §5.4-style detector. The paper runs its experiments offline but motivates
 // the tool for production systems ("the low overhead and tolerance of
 // noise make PreciseTracer a promising tracing tool for using on
 // production systems"); this package is that deployment mode.
+//
+// Exact mode (the default) keeps every interval's graphs and aggregates
+// post-hoc — unbounded state at production rates. Config.Sketched
+// switches the per-interval accounting onto bounded-memory sketches
+// (internal/sketch): pattern frequencies ride a space-saving heavy-
+// hitter sketch of Config.MaxPatterns counters, per-pattern latency
+// breakdowns fold incrementally into analysis.Accumulator totals, and
+// the detector runs on the sketched stream as intervals close. With
+// capacity to spare the sketched output is byte-identical to exact mode
+// (the equivalence tests pin this); under overload it degrades to the
+// sketch's documented error bounds instead of growing.
 package live
 
 import (
@@ -17,6 +29,7 @@ import (
 	"repro/internal/activity"
 	"repro/internal/analysis"
 	"repro/internal/cag"
+	"repro/internal/sketch"
 )
 
 // Alert is one detector finding raised for a closed interval.
@@ -53,11 +66,42 @@ type Config struct {
 	MinRequests int
 	// OnAlert, when set, receives alerts as intervals close.
 	OnAlert func(Alert)
+
+	// Sketched switches the per-interval pattern/latency accounting onto
+	// bounded-memory sketches: at most MaxPatterns pattern signatures are
+	// tracked per interval (space-saving heavy hitters), per-pattern
+	// latency breakdowns accumulate incrementally instead of retaining
+	// graphs, and lifetime latency/share quantiles (QuantileTable) ride
+	// fixed-size Greenwald-Khanna sketches. False (the default) keeps the
+	// exact post-hoc computation — and is the oracle the sketched mode's
+	// equivalence tests compare against.
+	Sketched bool
+	// MaxPatterns caps the signatures tracked per interval and the
+	// categories tracked by the lifetime share quantiles in sketched
+	// mode; baselines are bounded at 2×MaxPatterns by least-recently-seen
+	// eviction. Default 64. Ignored when Sketched is false.
+	MaxPatterns int
+	// QuantileEpsilon is the rank-error fraction of the lifetime quantile
+	// sketches (sketched mode). Default 0.01 — p99 answers are within one
+	// percentile of exact. Ignored when Sketched is false.
+	QuantileEpsilon float64
 }
 
 type bucket struct {
 	start  time.Duration
-	graphs map[string][]*cag.Graph // signature -> members
+	graphs map[string][]*cag.Graph // signature -> members (exact mode)
+	sk     *sketchBucket           // bounded accounting (sketched mode)
+}
+
+// sketchBucket is one interval's bounded-memory accounting: a heavy-
+// hitter sketch over pattern signatures plus one incremental accumulator
+// per tracked signature. reqs/latSum stay exact scalars, so interval
+// totals (Requests, MeanLatency) never degrade with eviction.
+type sketchBucket struct {
+	top    *sketch.TopK
+	accs   map[string]*analysis.Accumulator // tracked signature -> totals
+	reqs   int
+	latSum time.Duration
 }
 
 // IntervalStat summarises one closed interval for dashboards.
@@ -81,6 +125,9 @@ type IntervalStat struct {
 type patternBaseline struct {
 	report    *analysis.PatternReport
 	intervals int
+	// lastSeen is the interval index this pattern last reported — the
+	// recency key sketched mode's baseline eviction uses.
+	lastSeen int
 }
 
 // Monitor ingests CAGs and raises alerts.
@@ -116,6 +163,14 @@ type Monitor struct {
 	// stops advancing is a dead or disconnected agent.
 	delivered    map[activity.Sym]time.Duration
 	deliveredAny bool
+
+	// Lifetime quantile sketches (sketched mode only): end-to-end latency
+	// over every ingested CAG, and per-category latency-share percentages
+	// bounded by a heavy-hitter sketch over category names (an evicted
+	// category's sketch is dropped with it).
+	latQ     *sketch.Quantile
+	shareTop *sketch.TopK
+	shareQ   map[string]*sketch.Quantile
 }
 
 // HostLag is one host's staleness as observed through the CAG stream:
@@ -143,12 +198,24 @@ func NewMonitor(cfg Config) *Monitor {
 	if cfg.MinRequests <= 0 {
 		cfg.MinRequests = 10
 	}
-	return &Monitor{
+	if cfg.MaxPatterns <= 0 {
+		cfg.MaxPatterns = 64
+	}
+	if cfg.QuantileEpsilon <= 0 {
+		cfg.QuantileEpsilon = 0.01
+	}
+	m := &Monitor{
 		cfg:        cfg,
 		baselines:  make(map[string]*patternBaseline),
 		hostNewest: make(map[activity.Sym]time.Duration),
 		delivered:  make(map[activity.Sym]time.Duration),
 	}
+	if cfg.Sketched {
+		m.latQ = sketch.NewQuantile(cfg.QuantileEpsilon)
+		m.shareTop = sketch.NewTopK(cfg.MaxPatterns)
+		m.shareQ = make(map[string]*sketch.Quantile, cfg.MaxPatterns)
+	}
+	return m
 }
 
 // Ingest adds one finished CAG. CAGs must arrive in non-decreasing
@@ -168,7 +235,7 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 		m.lastEnd = t
 	}
 	if m.cur == nil {
-		m.cur = &bucket{start: t - t%m.cfg.Interval, graphs: make(map[string][]*cag.Graph)}
+		m.cur = m.newBucket(t - t%m.cfg.Interval)
 	}
 	if t >= m.cur.start+m.cfg.Interval {
 		// Close the current interval once, then jump straight to the
@@ -184,10 +251,14 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 			m.pendingSkipped += skipped
 			m.skippedEmpty += skipped
 		}
-		m.cur = &bucket{start: target, graphs: make(map[string][]*cag.Graph)}
+		m.cur = m.newBucket(target)
 	}
 	sig := cag.Signature(g)
-	m.cur.graphs[sig] = append(m.cur.graphs[sig], g)
+	if m.cur.sk != nil {
+		m.ingestSketched(g, sig)
+	} else {
+		m.cur.graphs[sig] = append(m.cur.graphs[sig], g)
+	}
 	m.ingested++
 	for _, v := range g.Vertices() {
 		// Records arriving through the session are bound; a hand-built
@@ -205,6 +276,64 @@ func (m *Monitor) Ingest(g *cag.Graph) {
 		}
 		if v.Timestamp > m.newest {
 			m.newest = v.Timestamp
+		}
+	}
+}
+
+// ConsumeGraph implements core.GraphSink: the monitor plugs directly
+// into a session's emission chain (core.Options.Sinks or
+// core.IngestOptions.Sinks) with no adapter closure.
+func (m *Monitor) ConsumeGraph(g *cag.Graph) { m.Ingest(g) }
+
+// newBucket opens one interval's state in the configured mode.
+func (m *Monitor) newBucket(start time.Duration) *bucket {
+	if m.cfg.Sketched {
+		return &bucket{start: start, sk: &sketchBucket{
+			top:  sketch.NewTopK(m.cfg.MaxPatterns),
+			accs: make(map[string]*analysis.Accumulator, m.cfg.MaxPatterns),
+		}}
+	}
+	return &bucket{start: start, graphs: make(map[string][]*cag.Graph)}
+}
+
+// ingestSketched folds one CAG into the current interval's bounded
+// accounting and the lifetime quantile sketches. The graph itself is
+// not retained — this is what bounds the sketched monitor's memory.
+func (m *Monitor) ingestSketched(g *cag.Graph, sig string) {
+	sk := m.cur.sk
+	if evicted, ok := sk.top.Observe(sig); ok {
+		delete(sk.accs, evicted)
+	}
+	acc := sk.accs[sig]
+	if acc == nil {
+		acc = analysis.NewAccumulator(cag.PatternName(g), sig)
+		sk.accs[sig] = acc
+	}
+	lat := g.Latency()
+	comps := cag.ComponentLatencies(g)
+	acc.Observe(lat, comps)
+	sk.reqs++
+	sk.latSum += lat
+
+	m.latQ.Observe(float64(lat))
+	if lat > 0 {
+		// Sorted category order keeps the share sketches' eviction
+		// deterministic for identical streams.
+		cats := make([]string, 0, len(comps))
+		for c := range comps {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for _, c := range cats {
+			if evicted, ok := m.shareTop.Observe(c); ok {
+				delete(m.shareQ, evicted)
+			}
+			q := m.shareQ[c]
+			if q == nil {
+				q = sketch.NewQuantile(m.cfg.QuantileEpsilon)
+				m.shareQ[c] = q
+			}
+			q.Observe(100 * float64(comps[c]) / float64(lat))
 		}
 	}
 }
@@ -294,6 +423,10 @@ func (m *Monitor) Flush() {
 }
 
 func (m *Monitor) closeInterval() {
+	if m.cur.sk != nil {
+		m.closeIntervalSketched()
+		return
+	}
 	stat := IntervalStat{Index: m.index, Start: m.cur.start, SkippedEmpty: m.pendingSkipped}
 	m.pendingSkipped = 0
 	alertsBefore := len(m.alerts)
@@ -335,37 +468,116 @@ func (m *Monitor) closeInterval() {
 		if err != nil {
 			continue
 		}
-		rep := reportOf(avg)
-		base := m.baselines[sig]
-		if base == nil || base.intervals < m.cfg.BaselineIntervals {
-			// Still building the healthy reference: blend intervals.
-			if base == nil {
-				m.baselines[sig] = &patternBaseline{report: rep, intervals: 1}
-			} else {
-				base.report = blend(base.report, rep, base.intervals)
-				base.intervals++
-			}
+		m.diagnose(sig, reportOf(avg), len(members))
+	}
+}
+
+// closeIntervalSketched is closeInterval on the bounded accounting: the
+// interval totals come from the exact scalars, TopPattern from the
+// heavy-hitter ranking (count desc, signature asc — the same winner as
+// the exact sorted-signature scan when capacity suffices), and the
+// detector runs on each tracked signature's incremental report.
+func (m *Monitor) closeIntervalSketched() {
+	sk := m.cur.sk
+	stat := IntervalStat{
+		Index: m.index, Start: m.cur.start, SkippedEmpty: m.pendingSkipped,
+		Requests: sk.reqs,
+	}
+	m.pendingSkipped = 0
+	alertsBefore := len(m.alerts)
+	if sk.reqs > 0 {
+		stat.MeanLatency = sk.latSum / time.Duration(sk.reqs)
+	}
+	if items := sk.top.Items(); len(items) > 0 {
+		if acc := sk.accs[items[0].Key]; acc != nil {
+			stat.TopPattern = acc.Name
+		}
+	}
+	defer func() {
+		stat.Alerts = len(m.alerts) - alertsBefore
+		m.history = append(m.history, stat)
+		m.index++
+		m.intervals++
+	}()
+	sigs := make([]string, 0, len(sk.accs))
+	for sig := range sk.accs {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		acc := sk.accs[sig]
+		if acc.Count() < m.cfg.MinRequests {
 			continue
 		}
-		findings := m.cfg.Detector.Diagnose(base.report, rep)
-		for _, f := range findings {
-			a := Alert{
-				Interval: m.index,
-				Start:    m.cur.start,
-				Pattern:  rep.Name,
-				Finding:  f,
-				Requests: len(members),
-				MeanLat:  rep.MeanLatency,
-				BaseLat:  base.report.MeanLatency,
-			}
-			if base.report.MeanLatency > 0 {
-				a.LatFactor = float64(rep.MeanLatency) / float64(base.report.MeanLatency)
-			}
-			m.alerts = append(m.alerts, a)
-			if m.cfg.OnAlert != nil {
-				m.cfg.OnAlert(a)
-			}
+		m.diagnose(sig, acc.Report(), acc.Count())
+	}
+	m.evictBaselines()
+}
+
+// diagnose compares one pattern's interval report against its rolling
+// baseline, blending while the baseline is still building and raising
+// alerts afterwards — the per-pattern tail both close paths share.
+func (m *Monitor) diagnose(sig string, rep *analysis.PatternReport, requests int) {
+	base := m.baselines[sig]
+	if base == nil || base.intervals < m.cfg.BaselineIntervals {
+		// Still building the healthy reference: blend intervals.
+		if base == nil {
+			m.baselines[sig] = &patternBaseline{report: rep, intervals: 1, lastSeen: m.index}
+		} else {
+			base.report = blend(base.report, rep, base.intervals)
+			base.intervals++
+			base.lastSeen = m.index
 		}
+		return
+	}
+	base.lastSeen = m.index
+	findings := m.cfg.Detector.Diagnose(base.report, rep)
+	for _, f := range findings {
+		a := Alert{
+			Interval: m.index,
+			Start:    m.cur.start,
+			Pattern:  rep.Name,
+			Finding:  f,
+			Requests: requests,
+			MeanLat:  rep.MeanLatency,
+			BaseLat:  base.report.MeanLatency,
+		}
+		if base.report.MeanLatency > 0 {
+			a.LatFactor = float64(rep.MeanLatency) / float64(base.report.MeanLatency)
+		}
+		m.alerts = append(m.alerts, a)
+		if m.cfg.OnAlert != nil {
+			m.cfg.OnAlert(a)
+		}
+	}
+}
+
+// evictBaselines bounds the baseline table in sketched mode: beyond
+// 2×MaxPatterns entries, the least-recently-reporting patterns are
+// dropped (ties broken by signature for determinism). Exact mode never
+// evicts — its baseline set is as unbounded as its buckets.
+func (m *Monitor) evictBaselines() {
+	limit := 2 * m.cfg.MaxPatterns
+	if len(m.baselines) <= limit {
+		return
+	}
+	type cand struct {
+		sig  string
+		seen int
+	}
+	cands := make([]cand, 0, len(m.baselines))
+	for sig, b := range m.baselines {
+		cands = append(cands, cand{sig: sig, seen: b.lastSeen})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].seen != cands[j].seen {
+			return cands[i].seen < cands[j].seen
+		}
+		return cands[i].sig < cands[j].sig
+	})
+	excess := len(m.baselines) - limit
+	for _, c := range cands[:excess] {
+		delete(m.baselines, c.sig)
 	}
 }
 
@@ -419,30 +631,111 @@ func blend(base, next *analysis.PatternReport, weight int) *analysis.PatternRepo
 	return out
 }
 
-// Alerts returns all alerts raised so far.
-func (m *Monitor) Alerts() []Alert { return m.alerts }
+// Stats is one consistent snapshot of the monitor's counters — the
+// single accessor replacing the former per-scalar getters. The slices
+// are copies: callers may retain or mutate them without observing later
+// appends or corrupting monitor state.
+type Stats struct {
+	// Ingested is the number of CAGs consumed.
+	Ingested int
+	// Intervals is the number of closed (non-empty or trailing)
+	// intervals; empty gap intervals are skipped, not closed.
+	Intervals int
+	// SkippedEmpty is the total number of empty intervals skipped over
+	// quiet gaps. Intervals + SkippedEmpty is the full span covered
+	// between the first ingested CAG and the last closed interval.
+	SkippedEmpty int
+	// OutOfOrder is how many ingested CAGs violated the non-decreasing
+	// END-timestamp contract. Non-zero means the feeding correlator broke
+	// its emission-order guarantee (or streams were mixed); interval
+	// statistics near the violations are suspect.
+	OutOfOrder int
+	// Alerts holds every alert raised so far, in raise order.
+	Alerts []Alert
+	// History holds per-interval statistics in close order.
+	History []IntervalStat
+}
 
-// Intervals returns the number of closed (non-empty or trailing)
-// intervals; empty gap intervals are skipped, not closed — see
-// SkippedEmpty for the rest of the covered span.
-func (m *Monitor) Intervals() int { return m.intervals }
+// Stats returns a snapshot of the monitor's counters, alerts and
+// interval history. The contained slices are copies.
+func (m *Monitor) Stats() Stats {
+	return Stats{
+		Ingested:     m.ingested,
+		Intervals:    m.intervals,
+		SkippedEmpty: m.skippedEmpty,
+		OutOfOrder:   m.outOfOrder,
+		Alerts:       append([]Alert(nil), m.alerts...),
+		History:      append([]IntervalStat(nil), m.history...),
+	}
+}
 
-// SkippedEmpty returns the total number of empty intervals skipped over
-// quiet gaps. Intervals() + SkippedEmpty() is the full span covered
-// between the first ingested CAG and the last closed interval.
-func (m *Monitor) SkippedEmpty() int { return m.skippedEmpty }
+// SketchFootprint reports the sketched mode's state sizes — the
+// quantities that must stay flat (capacity-bounded) as the stream
+// grows; TestMonitorSketchedCapacity gates them under make soak-short.
+type SketchFootprint struct {
+	// TrackedPatterns is the current interval's tracked signature count
+	// (≤ MaxPatterns).
+	TrackedPatterns int
+	// Baselines is the rolling baseline table size (≤ 2×MaxPatterns in
+	// sketched mode).
+	Baselines int
+	// ShareCategories is the number of categories with a lifetime share
+	// quantile sketch (≤ MaxPatterns).
+	ShareCategories int
+	// LatencyTuples is the lifetime latency sketch's summary size —
+	// O((1/ε)·log(εN)), effectively constant.
+	LatencyTuples int
+	// MaxShareTuples is the largest per-category share sketch.
+	MaxShareTuples int
+}
 
-// Ingested returns the number of CAGs consumed.
-func (m *Monitor) Ingested() int { return m.ingested }
+// Footprint returns the sketched state sizes (zero value in exact mode,
+// whose footprint grows with the stream by design).
+func (m *Monitor) Footprint() SketchFootprint {
+	var f SketchFootprint
+	f.Baselines = len(m.baselines)
+	if m.cur != nil && m.cur.sk != nil {
+		f.TrackedPatterns = m.cur.sk.top.Len()
+	}
+	if m.latQ != nil {
+		f.LatencyTuples = m.latQ.Size()
+	}
+	f.ShareCategories = len(m.shareQ)
+	for _, q := range m.shareQ {
+		if q.Size() > f.MaxShareTuples {
+			f.MaxShareTuples = q.Size()
+		}
+	}
+	return f
+}
 
-// OutOfOrder returns how many ingested CAGs violated the non-decreasing
-// END-timestamp contract. Non-zero means the feeding correlator broke its
-// emission-order guarantee (or streams were mixed); interval statistics
-// near the violations are suspect.
-func (m *Monitor) OutOfOrder() int { return m.outOfOrder }
-
-// History returns per-interval statistics in order.
-func (m *Monitor) History() []IntervalStat { return m.history }
+// QuantileTable renders the lifetime latency and per-category share
+// quantiles (sketched mode; empty otherwise). Latency rows are the
+// end-to-end distribution over every ingested CAG; category rows are
+// the distribution of that category's critical-path share percentage
+// per request.
+func (m *Monitor) QuantileTable() string {
+	if m.latQ == nil || m.latQ.N() == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s\n", "quantity", "p50", "p90", "p99")
+	q := func(phi float64) time.Duration {
+		return time.Duration(m.latQ.Query(phi)).Round(time.Microsecond)
+	}
+	fmt.Fprintf(&b, "%-16s %12v %12v %12v\n", "latency", q(0.5), q(0.9), q(0.99))
+	cats := make([]string, 0, len(m.shareQ))
+	for c := range m.shareQ {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		sq := m.shareQ[c]
+		fmt.Fprintf(&b, "%-16s %11.1f%% %11.1f%% %11.1f%%\n",
+			c, sq.Query(0.5), sq.Query(0.9), sq.Query(0.99))
+	}
+	return b.String()
+}
 
 // HistoryTable renders the interval history for terminal output.
 func (m *Monitor) HistoryTable() string {

@@ -36,38 +36,38 @@ func TestMonitorFedByShardedPipeline(t *testing.T) {
 			EntryPorts: []int{rubis.EntryPort},
 			IPToHost:   res.IPToHost,
 			Workers:    workers,
-			OnGraph:    func(g *cag.Graph) { m.Ingest(g) },
+			Sinks:      []core.GraphSink{m},
 		}).CorrelateTrace(res.Trace)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(out.Graphs) != 0 {
-			t.Fatalf("OnGraph mode accumulated %d graphs", len(out.Graphs))
+			t.Fatalf("sink mode accumulated %d graphs", len(out.Graphs))
 		}
 		m.Flush()
 		return m
 	}
 
-	seq := feed(1)
-	par := feed(4)
+	sst := feed(1).Stats()
+	pst := feed(4).Stats()
 
-	if seq.Ingested() == 0 {
+	if sst.Ingested == 0 {
 		t.Fatal("sequential feed ingested nothing")
 	}
-	if par.Ingested() != seq.Ingested() {
-		t.Fatalf("ingested %d graphs via pipeline, %d sequentially", par.Ingested(), seq.Ingested())
+	if pst.Ingested != sst.Ingested {
+		t.Fatalf("ingested %d graphs via pipeline, %d sequentially", pst.Ingested, sst.Ingested)
 	}
-	if par.Intervals() != seq.Intervals() {
-		t.Fatalf("closed %d intervals via pipeline, %d sequentially", par.Intervals(), seq.Intervals())
+	if pst.Intervals != sst.Intervals {
+		t.Fatalf("closed %d intervals via pipeline, %d sequentially", pst.Intervals, sst.Intervals)
 	}
-	sh, ph := seq.History(), par.History()
+	sh, ph := sst.History, pst.History
 	for i := range sh {
 		if sh[i] != ph[i] {
 			t.Fatalf("interval %d differs:\npipeline   %+v\nsequential %+v", i, ph[i], sh[i])
 		}
 	}
-	if len(par.Alerts()) != len(seq.Alerts()) {
-		t.Fatalf("pipeline raised %d alerts, sequential %d", len(par.Alerts()), len(seq.Alerts()))
+	if len(pst.Alerts) != len(sst.Alerts) {
+		t.Fatalf("pipeline raised %d alerts, sequential %d", len(pst.Alerts), len(sst.Alerts))
 	}
 }
 
@@ -112,7 +112,7 @@ func TestMonitorFedByContinuousSession(t *testing.T) {
 		}
 	}
 	sess.Drain()
-	midIngested := m.Ingested()
+	midIngested := m.Stats().Ingested
 	if midIngested == 0 {
 		t.Fatal("continuous session fed the monitor nothing before any stream closed")
 	}
@@ -121,9 +121,10 @@ func TestMonitorFedByContinuousSession(t *testing.T) {
 	if out.ForcedSeals == 0 {
 		t.Fatal("no forced seals on a forever-open RUBiS run")
 	}
-	if m.Ingested() == 0 || m.Intervals() == 0 {
-		t.Fatalf("monitor saw %d CAGs over %d intervals", m.Ingested(), m.Intervals())
+	st := m.Stats()
+	if st.Ingested == 0 || st.Intervals == 0 {
+		t.Fatalf("monitor saw %d CAGs over %d intervals", st.Ingested, st.Intervals)
 	}
 	t.Logf("mid-run ingested %d/%d CAGs; %d forced seals, %d late links, %d out-of-order",
-		midIngested, m.Ingested(), out.ForcedSeals, out.LateLinks, m.OutOfOrder())
+		midIngested, st.Ingested, out.ForcedSeals, out.LateLinks, st.OutOfOrder)
 }

@@ -75,8 +75,8 @@ func TestMonitorBaselineThenAlert(t *testing.T) {
 	}
 	m.Flush()
 
-	if m.Intervals() != 4 {
-		t.Fatalf("intervals = %d, want 4", m.Intervals())
+	if n := m.Stats().Intervals; n != 4 {
+		t.Fatalf("intervals = %d, want 4", n)
 	}
 	if len(alerts) == 0 {
 		t.Fatalf("no alerts raised; summary:\n%s", m.Summary())
@@ -104,11 +104,12 @@ func TestMonitorNoAlertsWhenHealthy(t *testing.T) {
 		}
 	}
 	m.Flush()
-	if len(m.Alerts()) != 0 {
+	st := m.Stats()
+	if len(st.Alerts) != 0 {
 		t.Fatalf("healthy stream raised alerts:\n%s", m.Summary())
 	}
-	if m.Ingested() != 25 {
-		t.Fatalf("ingested = %d", m.Ingested())
+	if st.Ingested != 25 {
+		t.Fatalf("ingested = %d", st.Ingested)
 	}
 }
 
@@ -121,7 +122,7 @@ func TestMonitorSkipsSparsePatterns(t *testing.T) {
 		}
 	}
 	m.Flush()
-	if len(m.Alerts()) != 0 {
+	if len(m.Stats().Alerts) != 0 {
 		t.Fatal("sparse patterns must not alert")
 	}
 }
@@ -133,13 +134,14 @@ func TestMonitorEmptyIntervalsSkipped(t *testing.T) {
 	m.Ingest(buildGraph(t, 50*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 1))
 	m.Ingest(buildGraph(t, 350*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 2))
 	m.Flush()
-	if m.Intervals() != 2 {
-		t.Fatalf("intervals = %d, want 2 (gap intervals skipped, not closed)", m.Intervals())
+	st := m.Stats()
+	if st.Intervals != 2 {
+		t.Fatalf("intervals = %d, want 2 (gap intervals skipped, not closed)", st.Intervals)
 	}
-	if m.SkippedEmpty() != 2 {
-		t.Fatalf("SkippedEmpty = %d, want 2", m.SkippedEmpty())
+	if st.SkippedEmpty != 2 {
+		t.Fatalf("SkippedEmpty = %d, want 2", st.SkippedEmpty)
 	}
-	hist := m.History()
+	hist := st.History
 	if len(hist) != 2 {
 		t.Fatalf("history rows = %d, want 2", len(hist))
 	}
@@ -170,15 +172,16 @@ func TestMonitorLongGapDoesNotSpin(t *testing.T) {
 		t.Fatal("gap ingest did not return promptly (interval spin)")
 	}
 	m.Flush()
-	if got, want := m.Intervals(), 2; got != want {
+	st := m.Stats()
+	if got, want := st.Intervals, 2; got != want {
 		t.Fatalf("intervals = %d, want %d", got, want)
 	}
 	wantSkipped := int(quiet/time.Second) - 1 // 10799 empties between bucket 0 and bucket 10800
-	if m.SkippedEmpty() != wantSkipped {
-		t.Fatalf("SkippedEmpty = %d, want %d", m.SkippedEmpty(), wantSkipped)
+	if st.SkippedEmpty != wantSkipped {
+		t.Fatalf("SkippedEmpty = %d, want %d", st.SkippedEmpty, wantSkipped)
 	}
-	if len(m.History()) != 2 {
-		t.Fatalf("history bloated to %d rows", len(m.History()))
+	if len(st.History) != 2 {
+		t.Fatalf("history bloated to %d rows", len(st.History))
 	}
 }
 
@@ -194,12 +197,12 @@ func TestMonitorFlushClosesTrailingEmpty(t *testing.T) {
 	// Flush on a monitor whose only bucket has data closes exactly one
 	// interval, and double Flush stays put.
 	m.Flush()
-	if m.Intervals() != 1 {
-		t.Fatalf("intervals = %d, want 1", m.Intervals())
+	if n := m.Stats().Intervals; n != 1 {
+		t.Fatalf("intervals = %d, want 1", n)
 	}
 	m.Flush()
-	if m.Intervals() != 1 {
-		t.Fatalf("second Flush closed another interval: %d", m.Intervals())
+	if n := m.Stats().Intervals; n != 1 {
+		t.Fatalf("second Flush closed another interval: %d", n)
 	}
 	// The bug itself: a non-nil but EMPTY current bucket (the state a
 	// pre-gap-fix feeder could leave behind) was silently dropped, making
@@ -209,10 +212,10 @@ func TestMonitorFlushClosesTrailingEmpty(t *testing.T) {
 	m3 := NewMonitor(Config{Interval: 100 * time.Millisecond, BaselineIntervals: 1, MinRequests: 1})
 	m3.cur = &bucket{start: 200 * time.Millisecond, graphs: make(map[string][]*cag.Graph)}
 	m3.Flush()
-	if m3.Intervals() != 1 {
-		t.Fatalf("empty trailing bucket dropped: intervals = %d, want 1", m3.Intervals())
+	if n := m3.Stats().Intervals; n != 1 {
+		t.Fatalf("empty trailing bucket dropped: intervals = %d, want 1", n)
 	}
-	hist := m3.History()
+	hist := m3.Stats().History
 	if len(hist) != 1 || hist[0].Requests != 0 || hist[0].MeanLatency != 0 || hist[0].Start != 200*time.Millisecond {
 		t.Fatalf("empty interval stat = %+v", hist[0])
 	}
@@ -257,7 +260,7 @@ func TestMonitorEndToEndWithFaultOnset(t *testing.T) {
 	m.Flush()
 
 	java2java := false
-	for _, a := range m.Alerts() {
+	for _, a := range m.Stats().Alerts {
 		if a.Finding.Category == "java2java" {
 			java2java = true
 		}
@@ -273,11 +276,12 @@ func TestMonitorOutOfOrderCounted(t *testing.T) {
 	m.Ingest(buildGraph(t, 400*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 2)) // regresses
 	m.Ingest(buildGraph(t, 600*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, 3))
 	m.Flush()
-	if m.OutOfOrder() != 1 {
-		t.Fatalf("OutOfOrder = %d, want 1", m.OutOfOrder())
+	st := m.Stats()
+	if st.OutOfOrder != 1 {
+		t.Fatalf("OutOfOrder = %d, want 1", st.OutOfOrder)
 	}
-	if m.Ingested() != 3 {
-		t.Fatalf("Ingested = %d, want 3 (violators still counted)", m.Ingested())
+	if st.Ingested != 3 {
+		t.Fatalf("Ingested = %d, want 3 (violators still counted)", st.Ingested)
 	}
 
 	ok := NewMonitor(Config{Interval: time.Second})
@@ -285,8 +289,8 @@ func TestMonitorOutOfOrderCounted(t *testing.T) {
 		ok.Ingest(buildGraph(t, time.Duration(100+i*50)*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond, i))
 	}
 	ok.Flush()
-	if ok.OutOfOrder() != 0 {
-		t.Fatalf("ordered stream counted %d violations", ok.OutOfOrder())
+	if n := ok.Stats().OutOfOrder; n != 0 {
+		t.Fatalf("ordered stream counted %d violations", n)
 	}
 }
 
@@ -299,7 +303,7 @@ func TestIntervalHistory(t *testing.T) {
 		}
 	}
 	m.Flush()
-	hist := m.History()
+	hist := m.Stats().History
 	if len(hist) != 3 {
 		t.Fatalf("history = %d intervals", len(hist))
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/activity"
 	"repro/internal/cag"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/rubis"
 )
 
@@ -52,6 +53,17 @@ type sessionPushEntry struct {
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
 }
 
+// monitorIngestEntry records the live monitor's per-CAG ingest cost in
+// exact vs sketched accounting (BenchmarkMonitorIngestSketched measures
+// the same path interactively).
+type monitorIngestEntry struct {
+	Mode        string  `json:"mode"` // exact | sketched
+	Graphs      int     `json:"graphs"`
+	MaxPatterns int     `json:"max_patterns,omitempty"`
+	NsPerGraph  float64 `json:"ns_per_graph"`
+	AllocsPerOp uint64  `json:"allocs_per_op,omitempty"`
+}
+
 type benchReport struct {
 	Benchmark  string       `json:"benchmark"`
 	NumCPU     int          `json:"num_cpu"`
@@ -61,8 +73,24 @@ type benchReport struct {
 	// AllocsBaseline is the close-driven session_push allocs_per_op
 	// before the interned identity layer — the reference the current
 	// entries' allocation cut is measured against.
-	AllocsBaseline uint64             `json:"session_push_allocs_baseline,omitempty"`
-	SessionPush    []sessionPushEntry `json:"session_push,omitempty"`
+	AllocsBaseline uint64               `json:"session_push_allocs_baseline,omitempty"`
+	SessionPush    []sessionPushEntry   `json:"session_push,omitempty"`
+	MonitorIngest  []monitorIngestEntry `json:"monitor_ingest,omitempty"`
+}
+
+// monitorFeed runs one full monitor pass over pre-correlated graphs.
+func monitorFeed(graphs []*cag.Graph, sketched bool, maxPatterns int) {
+	m := live.NewMonitor(live.Config{
+		Interval:          2 * time.Second,
+		BaselineIntervals: 2,
+		MinRequests:       5,
+		Sketched:          sketched,
+		MaxPatterns:       maxPatterns,
+	})
+	for _, g := range graphs {
+		m.ConsumeGraph(g)
+	}
+	m.Flush()
 }
 
 // sessionReplay pushes the trace through an online Session in global
@@ -130,6 +158,48 @@ func BenchmarkSessionPush(b *testing.B) {
 			}
 			perAct := float64(time.Since(start).Nanoseconds()) / float64(b.N*len(res.Trace))
 			b.ReportMetric(perAct, "ns/activity")
+		})
+	}
+}
+
+// BenchmarkMonitorIngestSketched compares the live monitor's two
+// accounting modes over a real correlated workload: exact (per-interval
+// CAG retention) vs sketched (space-saving + accumulators, bounded
+// memory). Reported in ns per ingested graph.
+func BenchmarkMonitorIngestSketched(b *testing.B) {
+	cfg := rubis.DefaultConfig(300)
+	cfg.Scale = 0.05
+	res, err := rubis.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := core.New(core.Options{
+		Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+	}).CorrelateTrace(res.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs := out.Graphs
+	if len(graphs) == 0 {
+		b.Fatal("no graphs")
+	}
+	for _, bc := range []struct {
+		name        string
+		sketched    bool
+		maxPatterns int
+	}{
+		{"exact", false, 0},
+		{"sketched-64", true, 64},
+		{"sketched-16", true, 16},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				monitorFeed(graphs, bc.sketched, bc.maxPatterns)
+			}
+			perGraph := float64(time.Since(start).Nanoseconds()) / float64(b.N*len(graphs))
+			b.ReportMetric(perGraph, "ns/graph")
 		})
 	}
 }
@@ -265,6 +335,50 @@ func TestPipelineSpeedupTrajectory(t *testing.T) {
 			})
 			t.Logf("session push: workers=%d sealafter=%v %.0f ns/activity, %d allocs/op",
 				pc.workers, pc.sealAfter, perAct, allocs)
+		}
+	}
+
+	// Live monitor ingest: exact vs sketched over the same correlated
+	// graphs, best of 3 plus one instrumented pass for allocations.
+	{
+		cfg := rubis.DefaultConfig(300)
+		cfg.Scale = 0.05
+		res, err := rubis.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.New(core.Options{
+			Window: 10 * time.Millisecond, EntryPorts: []int{rubis.EntryPort}, IPToHost: res.IPToHost,
+		}).CorrelateTrace(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs := out.Graphs
+		for _, mc := range []struct {
+			mode        string
+			sketched    bool
+			maxPatterns int
+		}{{"exact", false, 0}, {"sketched", true, 64}} {
+			best := time.Duration(1 << 62)
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				monitorFeed(graphs, mc.sketched, mc.maxPatterns)
+				if el := time.Since(start); el < best {
+					best = el
+				}
+			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			monitorFeed(graphs, mc.sketched, mc.maxPatterns)
+			runtime.ReadMemStats(&m1)
+			perGraph := float64(best.Nanoseconds()) / float64(len(graphs))
+			report.MonitorIngest = append(report.MonitorIngest, monitorIngestEntry{
+				Mode: mc.mode, Graphs: len(graphs), MaxPatterns: mc.maxPatterns,
+				NsPerGraph: perGraph, AllocsPerOp: m1.Mallocs - m0.Mallocs,
+			})
+			t.Logf("monitor ingest: mode=%s %.0f ns/graph, %d allocs/op",
+				mc.mode, perGraph, m1.Mallocs-m0.Mallocs)
 		}
 	}
 
