@@ -18,7 +18,7 @@ GO ?= go
 # sketches and export sinks live in.
 COVER_MIN ?= 85
 
-.PHONY: ci vet lint build test race cover bench bench-allocs soak soak-short
+.PHONY: ci vet lint build test race cover bench bench-allocs bench-promote soak soak-short
 
 ci: vet lint build test race cover bench bench-allocs soak-short
 
@@ -51,24 +51,45 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Allocation regression gate for the identity-layer hot path: the
-# close-driven BenchmarkSessionPush case must stay under ALLOCS_BUDGET
-# allocs/op. The budget is the post-interning measurement (~68k on the
-# reference box; down from 178,250 before dense keys) plus ~25% headroom
-# for machine variance — an accidental per-record allocation costs ~37k
-# allocs/op here and blows the budget immediately.
-ALLOCS_BUDGET ?= 85000
+# Allocation regression gates for the streaming-engine hot path. Each
+# BenchmarkSessionPush variant has its own budget: the measured figure on
+# the reference box plus ~25-30% headroom for machine variance — an
+# accidental per-record allocation costs ~37k allocs/op here and blows
+# either budget immediately.
+#
+#   seq-close-driven: ~54k measured (down from 178,250 before dense
+#   interned identities, ~68k before the worker-pool ranker/engine reuse).
+ALLOCS_BUDGET ?= 70000
+#   seq-continuous (SealAfter horizon, per-component forced seals): ~65k
+#   measured after the worker-pool reuse + flow key recycling, down from
+#   ~139k when every sealed component rebuilt its ranker and engine.
+ALLOCS_BUDGET_CONTINUOUS ?= 82000
 
 bench-allocs:
-	@$(GO) test -run '^$$' -bench 'BenchmarkSessionPush/seq-close-driven' \
+	@$(GO) test -run '^$$' -bench 'BenchmarkSessionPush/seq-(close-driven|continuous)' \
 		-benchmem -benchtime=3x . \
-	| awk -v budget=$(ALLOCS_BUDGET) ' \
-		/BenchmarkSessionPush/ { allocs = $$(NF-1) + 0; found = 1 } \
+	| awk -v budget=$(ALLOCS_BUDGET) -v cbudget=$(ALLOCS_BUDGET_CONTINUOUS) ' \
+		/BenchmarkSessionPush\/seq-close-driven/ { a = $$(NF-1) + 0; found++; \
+			printf "bench-allocs: seq-close-driven %d allocs/op (budget %d)\n", a, budget; \
+			if (a > budget) bad = 1 } \
+		/BenchmarkSessionPush\/seq-continuous/ { a = $$(NF-1) + 0; found++; \
+			printf "bench-allocs: seq-continuous %d allocs/op (budget %d)\n", a, cbudget; \
+			if (a > cbudget) bad = 1 } \
 		END { \
-			if (!found) { print "bench-allocs: benchmark produced no result"; exit 1 } \
-			printf "bench-allocs: BenchmarkSessionPush/seq-close-driven %d allocs/op (budget %d)\n", allocs, budget; \
-			exit (allocs > budget) \
+			if (found != 2) { printf "bench-allocs: expected 2 benchmark results, got %d\n", found; exit 1 } \
+			exit bad \
 		}'
+
+# Promote a downloaded CI bench run into the checked-in baseline: the
+# hosted bench job uploads BENCH_pipeline.json + bench.txt as the
+# "bench" artifact; unpack it and point BENCH_ARTIFACT at the directory.
+# benchpromote validates the matrix and folds the -benchmem allocs/op
+# figures from bench.txt into the session_push entries before rewriting
+# BENCH_pipeline.json.
+BENCH_ARTIFACT ?= bench-artifact
+
+bench-promote:
+	$(GO) run ./cmd/benchpromote -artifact $(BENCH_ARTIFACT) -out BENCH_pipeline.json
 
 # Loopback soak of the network ingestion tier: many concurrent agents
 # shipping a sustained load through collector → ingest → session, with a

@@ -1,0 +1,208 @@
+// benchpromote refreshes the repo's checked-in BENCH_pipeline.json from
+// a downloaded CI bench artifact (`make bench-promote`).
+//
+// The CI bench job uploads an artifact named "bench" holding the
+// BENCH_pipeline.json its TestPipelineSpeedupTrajectory run produced plus
+// the raw one-shot benchmark log (bench.txt). Promoting a run means:
+//
+//  1. validate the artifact's BENCH_pipeline.json — it must parse and
+//     carry a non-empty speedup matrix;
+//  2. fold the bench.txt BenchmarkSessionPush allocs/op figures into the
+//     matching session_push entries (the trajectory test measures them
+//     with ReadMemStats; the -benchmem figures are the ones the
+//     bench-allocs gate compares against, so the promoted baseline uses
+//     them when present);
+//  3. rewrite the target BENCH_pipeline.json, indented and stable.
+//
+// Usage:
+//
+//	benchpromote -artifact <dir> [-out BENCH_pipeline.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The artifact schema mirrors pipeline_bench_test.go's benchReport. Only
+// the fields benchpromote inspects are typed; everything else rides
+// through the RawMessage round-trip untouched.
+type report struct {
+	Benchmark   string            `json:"benchmark"`
+	Entries     []json.RawMessage `json:"entries"`
+	SessionPush []sessionPush     `json:"session_push,omitempty"`
+
+	rest map[string]json.RawMessage
+}
+
+type sessionPush struct {
+	Workers     int    `json:"workers"`
+	SealAfterMs int    `json:"seal_after_ms"`
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
+
+	rest map[string]json.RawMessage
+}
+
+// benchVariant maps one BenchmarkSessionPush sub-benchmark name in
+// bench.txt onto the session_push entry it measures.
+var benchVariants = map[string]struct{ workers, sealMs int }{
+	"seq-close-driven":   {1, 0},
+	"seq-continuous":     {1, 250},
+	"sharded-continuous": {4, 250},
+}
+
+func main() {
+	artifact := flag.String("artifact", "", "directory holding the CI bench artifact (BENCH_pipeline.json + bench.txt)")
+	out := flag.String("out", "BENCH_pipeline.json", "baseline file to refresh")
+	flag.Parse()
+	if *artifact == "" {
+		fmt.Fprintln(os.Stderr, "benchpromote: -artifact is required (download the CI \"bench\" artifact and unpack it)")
+		os.Exit(2)
+	}
+	if err := promote(*artifact, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchpromote: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func promote(artifact, out string) error {
+	src := filepath.Join(artifact, "BENCH_pipeline.json")
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	rep, err := parseReport(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	if len(rep.Entries) == 0 {
+		return fmt.Errorf("%s: empty speedup matrix; refusing to promote", src)
+	}
+
+	// bench.txt is optional (the artifact always has it, but promoting a
+	// hand-built report without one is fine) — without it the trajectory
+	// test's own allocation figures stand.
+	if allocs, err := parseBenchAllocs(filepath.Join(artifact, "bench.txt")); err == nil {
+		folded := 0
+		for name, a := range allocs {
+			v := benchVariants[name]
+			for i := range rep.SessionPush {
+				e := &rep.SessionPush[i]
+				if e.Workers == v.workers && e.SealAfterMs == v.sealMs {
+					e.AllocsPerOp = a
+					folded++
+				}
+			}
+		}
+		fmt.Printf("benchpromote: folded %d allocs/op figures from bench.txt\n", folded)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	buf, err := rep.marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchpromote: %s <- %s (%d matrix entries, %d session_push entries)\n",
+		out, artifact, len(rep.Entries), len(rep.SessionPush))
+	return nil
+}
+
+// parseReport decodes the typed fields and keeps every other top-level
+// key verbatim, so promoting never drops fields this tool predates.
+func parseReport(raw []byte) (*report, error) {
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, &rep.rest); err != nil {
+		return nil, err
+	}
+	var pushRaw []map[string]json.RawMessage
+	if sp, ok := rep.rest["session_push"]; ok {
+		if err := json.Unmarshal(sp, &pushRaw); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rep.SessionPush {
+		rep.SessionPush[i].rest = pushRaw[i]
+	}
+	delete(rep.rest, "session_push")
+	return &rep, nil
+}
+
+func (r *report) marshal() ([]byte, error) {
+	top := make(map[string]any, len(r.rest)+1)
+	for k, v := range r.rest {
+		top[k] = v
+	}
+	if len(r.SessionPush) > 0 {
+		push := make([]map[string]any, len(r.SessionPush))
+		for i, e := range r.SessionPush {
+			m := make(map[string]any, len(e.rest))
+			for k, v := range e.rest {
+				m[k] = v
+			}
+			if e.AllocsPerOp > 0 {
+				m["allocs_per_op"] = e.AllocsPerOp
+			}
+			push[i] = m
+		}
+		top["session_push"] = push
+	}
+	buf, err := json.MarshalIndent(top, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// parseBenchAllocs extracts allocs/op per BenchmarkSessionPush variant
+// from a `go test -bench -benchmem` log line, e.g.
+//
+//	BenchmarkSessionPush/seq-continuous  1  41889787 ns/op  ... 139041 allocs/op
+func parseBenchAllocs(path string) (map[string]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "BenchmarkSessionPush/") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "BenchmarkSessionPush/")
+		// Parallel benchmarks append -N (GOMAXPROCS) to the name.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, known := benchVariants[name]; !known {
+			continue
+		}
+		for i := len(fields) - 1; i > 0; i-- {
+			if fields[i] == "allocs/op" {
+				n, err := strconv.ParseUint(fields[i-1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad allocs/op for %s: %w", path, name, err)
+				}
+				out[name] = n
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}

@@ -274,9 +274,6 @@ func replay(inDir string, opts core.Options, monitor *live.Monitor, chunk int, h
 // report prints the shared tail of both modes: engine statistics, monitor
 // summary, history and per-host lag.
 func report(res *core.Result, monitor *live.Monitor, workers int) {
-	if res.SequentialFallback != "" {
-		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", workers, res.SequentialFallback)
-	}
 	if res.Shards > 0 {
 		fmt.Printf("streaming engine: %d flow components across %d workers; per-shard peaks: %d buffered activities, %d resident vertices (largest shard)\n",
 			res.Shards, workers, res.PeakBufferedActivities, res.PeakResidentVertices)

@@ -167,9 +167,6 @@ func run() error {
 		res.Engine.MergedSends, res.Engine.PartialReceives,
 		res.Engine.DiscardedSends, res.Engine.DiscardedReceives, res.Engine.DiscardedEnds,
 		res.Engine.ThreadReuseBreaks)
-	if res.SequentialFallback != "" {
-		fmt.Printf("note: requested %d workers but ran sequentially: %s\n", opts.Workers, res.SequentialFallback)
-	}
 	if res.ForcedSeals > 0 || res.LateLinks > 0 {
 		// The offline replay honours -sealafter, reproducing a continuous
 		// deployment's seals and splits deterministically from a recorded

@@ -115,10 +115,15 @@
 // deterministically. The batch partition stage also exists standalone
 // (flow.PartitionParallel) for shard-key analysis.
 //
-// The one exception is the PaperExactNoise ablation: the literal Fig. 5
-// is_noise predicate reads the global window buffer, so it runs the
-// single undivided ranker+engine pass; a Workers > 1 request in that mode
-// is surfaced in Result.SequentialFallback instead of degrading silently.
+// There are no exceptions: even the PaperExactNoise ablation runs this
+// engine. The literal Fig. 5 is_noise predicate asks whether a pending
+// matching SEND exists anywhere in the window, and the flow partition is
+// closed over channels — every SEND that could match a RECEIVE shares its
+// ChanKey and therefore its component — so each shard's own window buffer
+// answers the global question exactly (ranker.matchingSendVisible states
+// the invariant; a debug assertion and a fuzz test in internal/flow
+// enforce it). Exact mode therefore shards, scales with Workers, and
+// supports seal horizons and heartbeats like every other mode.
 //
 // # Deployment
 //

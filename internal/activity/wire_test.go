@@ -22,8 +22,8 @@ func TestParseEndpoint(t *testing.T) {
 		{"::1:3306", Endpoint{IP: "::1", Port: 3306}, true},
 		{"fe80::aa:bb:cc:80", Endpoint{IP: "fe80::aa:bb:cc", Port: 80}, true},
 		{"nocolon", Endpoint{}, false},
-		{":80", Endpoint{}, false},        // empty address
-		{"10.0.0.1:", Endpoint{}, false},  // empty port
+		{":80", Endpoint{}, false},       // empty address
+		{"10.0.0.1:", Endpoint{}, false}, // empty port
 		{"10.0.0.1:http", Endpoint{}, false},
 		{"10.0.0.1:-1", Endpoint{}, false},
 		{"10.0.0.1:65536", Endpoint{}, false},

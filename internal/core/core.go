@@ -27,7 +27,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
 	"time"
 
@@ -62,10 +61,14 @@ type Options struct {
 	Filter ranker.Filter
 
 	// PaperExactNoise switches is_noise to the exact Fig. 5 predicate; see
-	// ranker.Config. The predicate reads the global window buffer, so this
-	// mode runs the single global ranker+engine pass instead of the
-	// streaming engine (surfaced in Result.SequentialFallback when
-	// Workers > 1 asked for concurrency). For ablation only.
+	// ranker.Config. Like every other mode it runs on the streaming
+	// engine: the predicate's pending-SEND question is served per shard,
+	// which equals the global answer because the flow partition never
+	// splits a ChanKey across components (the channel-closure invariant —
+	// see ranker.matchingSendVisible). Exact mode therefore shards,
+	// accepts seal horizons and heartbeats, and scales with Workers. For
+	// ablation only: the default predicate additionally consults sender
+	// liveness, which keeps accuracy at 100% under clock skew.
 	PaperExactNoise bool
 
 	// OnGraph, when non-nil, streams each finished CAG instead of
@@ -127,10 +130,9 @@ type Options struct {
 	//
 	// 0 (the default) keeps sealing purely close-driven: output and
 	// behaviour are byte-identical to a Session without the option.
-	// PaperExactNoise rejects it (the global pass has no components to
-	// seal). Offline Correlate calls honour it too: the replay drains on
-	// a fixed cadence so a recorded trace reproduces the continuous
-	// deployment's seals, splits and counters deterministically.
+	// Offline Correlate calls honour it too: the replay drains on a fixed
+	// cadence so a recorded trace reproduces the continuous deployment's
+	// seals, splits and counters deterministically.
 	SealAfter time.Duration
 
 	// SealAfterByHost overrides SealAfter per host: a chronically lagging
@@ -314,23 +316,14 @@ type Result struct {
 
 	// PeakBufferedActivities and PeakResidentVertices drive the Fig. 11
 	// memory accounting: the ranker's buffer plus the engine's unfinished
-	// CAGs dominate the Correlator's footprint. In streaming-engine runs
-	// these are the largest single shard's peaks; the global
-	// PaperExactNoise pass reports its single window buffer.
+	// CAGs dominate the Correlator's footprint. These are the largest
+	// single shard's peaks.
 	PeakBufferedActivities int
 	PeakResidentVertices   int
 
 	// Shards is the number of flow components correlated by the streaming
-	// engine. 0 only for the global PaperExactNoise pass (one undivided
-	// buffer).
+	// engine. Every mode shards (0 only for empty input).
 	Shards int
-
-	// SequentialFallback is non-empty when Workers > 1 was requested but
-	// the run degraded to the single global pass anyway, naming the
-	// reason (currently only FallbackPaperExactNoise). Callers that care
-	// about throughput should surface it instead of silently accepting
-	// sequential speed.
-	SequentialFallback string
 
 	// ForcedSeals counts components sealed by a SealAfter/SealAfterByHost
 	// activity-time horizon while their hosts were still open — each one
@@ -350,12 +343,6 @@ type Result struct {
 	// sender-liveness violation splitting CAGs; see Options.SealAfter.
 	LateLinks int
 }
-
-// FallbackPaperExactNoise is the Result.SequentialFallback reason set when
-// PaperExactNoise forces a Workers > 1 request onto the global pass: the
-// literal Fig. 5 is_noise predicate reads the global window buffer, which
-// shard-local buffers would change.
-const FallbackPaperExactNoise = "PaperExactNoise forces the sequential pass (the Fig. 5 predicate reads the global window buffer)"
 
 // EstimatedBytes approximates the correlator state's peak working-set size
 // from its two dominant populations. The per-item constants approximate
@@ -407,8 +394,7 @@ var ErrNoEntryPorts = errors.New("core: no entry ports configured; no request ca
 // The trace is replayed through the streaming engine in trace order
 // (push, close every host, drain) — with a seal horizon configured the
 // replay also drains on a fixed cadence, reproducing a continuous
-// deployment's forced seals deterministically. PaperExactNoise instead
-// runs the single global ranker+engine pass the Fig. 5 predicate needs.
+// deployment's forced seals deterministically.
 func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error) {
 	if c.err != nil {
 		return nil, c.err
@@ -416,22 +402,7 @@ func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error)
 	if len(c.opts.EntryPorts) == 0 {
 		return nil, ErrNoEntryPorts
 	}
-	if !c.opts.PaperExactNoise {
-		return c.replayTrace(trace)
-	}
-	cls := activity.NewClassifier(c.opts.EntryPorts...)
-	classified := make([]*activity.Activity, len(trace))
-	for i, a := range trace {
-		cp := *a
-		cp.Type = cls.Classify(a)
-		classified[i] = &cp
-	}
-	byHost := ranker.SplitByHost(classified)
-	sources := make([]ranker.Source, 0, len(byHost))
-	for _, host := range sortedKeys(byHost) {
-		sources = append(sources, ranker.NewSliceSource(host, byHost[host]))
-	}
-	return c.CorrelateSources(sources, len(classified))
+	return c.replayTrace(trace)
 }
 
 // CorrelateSources runs the pipeline over pre-classified per-node sources.
@@ -439,59 +410,38 @@ func (c *Correlator) CorrelateTrace(trace []*activity.Activity) (*Result, error)
 //
 // The sources are merged by timestamp and replayed through the streaming
 // engine, which buffers each flow component until it seals — configure a
-// seal horizon to bound that buffering on long inputs. PaperExactNoise
-// instead drives the single global pass directly over the given sources.
+// seal horizon to bound that buffering on long inputs.
 func (c *Correlator) CorrelateSources(sources []ranker.Source, totalHint int) (*Result, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	if !c.opts.PaperExactNoise {
-		return c.replaySources(sources, totalHint)
-	}
-	var engOpts []engine.Option
-	if deliver := c.opts.emitter(); deliver != nil {
-		engOpts = append(engOpts, engine.WithOutputFunc(deliver))
-	}
-	start := time.Now()
-	rk, eng := c.drive(sources, engOpts...)
-	elapsed := time.Since(start)
-
-	res := &Result{
-		Graphs:                 eng.Outputs(),
-		CorrelationTime:        elapsed,
-		Activities:             totalHint,
-		Ranker:                 rk.Stats(),
-		Engine:                 eng.Stats(),
-		PeakBufferedActivities: rk.Stats().PeakBuffered,
-		PeakResidentVertices:   eng.PeakResidentVertices(),
-		SequentialFallback:     c.fallbackReason(),
-	}
-	return res, nil
-}
-
-// fallbackReason names why a Workers > 1 request is running on the single
-// global pass, or "" when it is not degraded (streamed, or never
-// requested).
-func (c *Correlator) fallbackReason() string {
-	if c.opts.Workers > 1 && c.opts.PaperExactNoise {
-		return FallbackPaperExactNoise
-	}
-	return ""
+	return c.replaySources(sources, totalHint)
 }
 
 // drive runs the ranker+engine pair to exhaustion over per-node sources —
 // the paper's sequential correlator. It is the single definition of the
 // hot loop: every sealed flow component of the streaming engine runs it
-// over the component's sources, and the PaperExactNoise mode runs it over
-// the whole trace, so the execution modes cannot drift apart.
+// over the component's sources, so the execution modes cannot drift
+// apart.
 func (c *Correlator) drive(sources []ranker.Source, engOpts ...engine.Option) (*ranker.Ranker, *engine.Engine) {
 	eng := engine.New(engOpts...)
-	rk := ranker.New(ranker.Config{
-		Window:          c.opts.Window,
-		IPToHost:        c.opts.IPToHost,
-		Filter:          c.opts.Filter,
-		PaperExactNoise: c.opts.PaperExactNoise,
-	}, eng, sources)
+	rk := ranker.New(c.rankerConfig(), eng, sources)
+	c.driveLoop(rk, eng)
+	return rk, eng
+}
+
+// driveOn is drive on a caller-owned, reusable ranker+engine pair: both
+// are reset in place and run over the sources with the same hot loop. The
+// worker pool uses it to correlate one sealed component after another
+// without rebuilding the pair — in continuous mode the per-component
+// ranker/engine construction dominated steady-state allocations.
+func (c *Correlator) driveOn(rk *ranker.Ranker, eng *engine.Engine, sources []ranker.Source) {
+	eng.Reset()
+	rk.Reset(eng, sources)
+	c.driveLoop(rk, eng)
+}
+
+func (c *Correlator) driveLoop(rk *ranker.Ranker, eng *engine.Engine) {
 	for {
 		a := rk.Rank()
 		if a == nil {
@@ -499,14 +449,16 @@ func (c *Correlator) drive(sources []ranker.Source, engOpts ...engine.Option) (*
 		}
 		eng.Handle(a)
 	}
-	return rk, eng
 }
 
-func sortedKeys(m map[string][]*activity.Activity) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// rankerConfig is the one translation of the correlator's options into
+// the ranker's knobs — drive and the worker pool's reusable rankers must
+// agree on it exactly.
+func (c *Correlator) rankerConfig() ranker.Config {
+	return ranker.Config{
+		Window:          c.opts.Window,
+		IPToHost:        c.opts.IPToHost,
+		Filter:          c.opts.Filter,
+		PaperExactNoise: c.opts.PaperExactNoise,
 	}
-	sort.Strings(keys)
-	return keys
 }

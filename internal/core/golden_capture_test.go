@@ -95,7 +95,10 @@ func TestGoldenDump(t *testing.T) {
 		}
 		dump(t, dir, tc.name+"-session-w1", sess.Close())
 
-		// PaperExactNoise sequential (the global-buffer path).
+		// PaperExactNoise sequential. Pre-refactor this file was produced
+		// by the dedicated global-buffer pass; the directory diff across
+		// the refactor is what proves the shard-aware predicate reproduces
+		// it byte-for-byte.
 		pout, err := New(Options{
 			Window:          10 * time.Millisecond,
 			EntryPorts:      []int{rubis.EntryPort},
@@ -106,6 +109,46 @@ func TestGoldenDump(t *testing.T) {
 			t.Fatal(err)
 		}
 		dump(t, dir, tc.name+"-paperexact-w1", pout)
+
+		// Shard-aware exact mode across the worker pool and seal-horizon
+		// matrix: every variant must reproduce the paperexact-w1 dump —
+		// and therefore the pre-refactor global pass — byte-for-byte. The
+		// horizon is far above the fixtures' request durations, so forced
+		// seals only retire completed components and the graphs must not
+		// change.
+		for _, v := range []struct {
+			name    string
+			workers int
+			seal    time.Duration
+		}{
+			{"paperexact-w1-session", 1, 0},
+			{"paperexact-w4-session", 4, 0},
+			{"paperexact-w1-seal", 1, time.Second},
+			{"paperexact-w4-seal", 4, time.Second},
+		} {
+			esess, err := NewSession(Options{
+				Window:          10 * time.Millisecond,
+				EntryPorts:      []int{rubis.EntryPort},
+				IPToHost:        res.IPToHost,
+				PaperExactNoise: true,
+				Workers:         v.workers,
+				SealAfter:       v.seal,
+			}, hostsOf(res))
+			if err != nil {
+				t.Fatalf("%s-%s: %v", tc.name, v.name, err)
+			}
+			for i, a := range arrivalOrder(res.Trace) {
+				if err := esess.Push(a); err != nil {
+					t.Fatal(err)
+				}
+				if (i+1)%256 == 0 {
+					esess.Drain()
+				}
+			}
+			eout := esess.Close()
+			dump(t, dir, tc.name+"-"+v.name, eout)
+			assertSameGraphs(t, tc.name+"-"+v.name, pout, eout)
+		}
 	}
 }
 

@@ -344,8 +344,8 @@ func TestSessionHeartbeatErrors(t *testing.T) {
 		t.Fatal("heartbeat on a closed session accepted")
 	}
 
-	// The PaperExactNoise global pass accepts (and ignores) heartbeats for
-	// interface symmetry, still validating the host name.
+	// PaperExactNoise sessions run the same streaming engine, so
+	// heartbeats work (and are validated) there too.
 	opts := options(res)
 	opts.PaperExactNoise = true
 	g, err := NewSession(opts, hostsOf(res))
@@ -353,10 +353,10 @@ func TestSessionHeartbeatErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := g.Heartbeat("web1", time.Second); err != nil {
-		t.Fatalf("global session rejected a heartbeat: %v", err)
+		t.Fatalf("exact session rejected a heartbeat: %v", err)
 	}
 	if err := g.Heartbeat("nosuch", time.Second); err == nil {
-		t.Fatal("global session accepted a heartbeat for an undeclared host")
+		t.Fatal("exact session accepted a heartbeat for an undeclared host")
 	}
 }
 
@@ -505,16 +505,20 @@ func TestOfflineReplayCountersSurvive(t *testing.T) {
 			res.ForcedSeals, res.LateLinks, again.ForcedSeals, again.LateLinks)
 	}
 
-	// SequentialFallback survives the offline path too.
+	// PaperExactNoise honours the horizon too: it is a streaming-engine
+	// mode like any other, so the same continuous replay must force seals
+	// instead of being rejected.
 	exact := opts
-	exact.SealAfter = 0
 	exact.PaperExactNoise = true
 	exact.Workers = 4
 	pres, err := New(exact).CorrelateTrace(trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pres.SequentialFallback != FallbackPaperExactNoise {
-		t.Fatalf("offline SequentialFallback = %q", pres.SequentialFallback)
+	if pres.ForcedSeals == 0 {
+		t.Fatal("exact-mode continuous replay produced no forced seals")
+	}
+	if pres.Shards == 0 {
+		t.Fatal("exact-mode continuous replay reported no shards")
 	}
 }

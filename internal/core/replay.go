@@ -124,6 +124,5 @@ func (c *Correlator) finishReplay(s *streamSession, total int, start time.Time) 
 	res := s.Close()
 	res.Activities = total
 	res.CorrelationTime = time.Since(start)
-	res.SequentialFallback = c.fallbackReason()
 	return res
 }

@@ -6,8 +6,6 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/cag"
-	"repro/internal/engine"
-	"repro/internal/ranker"
 )
 
 // Session is the online (push-mode) correlator: activities are pushed as
@@ -31,12 +29,12 @@ import (
 // for chronically lagging agents) and feed Heartbeat so idle hosts do not
 // stall the ordered output.
 //
-// Every worker count runs the same streaming engine (stream.go);
-// Options.Workers only sizes its correlation pool. The one exception is
-// PaperExactNoise, whose Fig. 5 predicate needs one undivided window
-// buffer: those sessions buffer per host and run the single global pass
-// at Close (a Workers > 1 request is surfaced in
-// Result.SequentialFallback).
+// Every mode runs the same streaming engine (stream.go); Options.Workers
+// only sizes its correlation pool. That includes PaperExactNoise: the
+// Fig. 5 predicate's pending-SEND question is answered per shard, which
+// channel-closure sharding makes equal to the global answer (see
+// ranker.matchingSendVisible for the invariant), so exact-mode sessions
+// get horizons, heartbeats, forced seals and PushBatch like any other.
 //
 // Sessions are not safe for concurrent use: Push/Drain/CloseHost/
 // Heartbeat/Close must be called from one goroutine (the engine
@@ -75,20 +73,6 @@ func NewSession(opts Options, hosts []string) (*Session, error) {
 	}
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("core: session needs at least one host")
-	}
-	if opts.PaperExactNoise {
-		if opts.continuousConfigured() {
-			// Silently dropping the horizons would be the worst failure
-			// mode: a forever-open deployment would never emit and never
-			// learn why (the fallback reason only surfaces in Close's
-			// Result).
-			return nil, fmt.Errorf("core: SealAfter horizons need the streaming engine, but %s", FallbackPaperExactNoise)
-		}
-		g := newGlobalSession(opts, hosts)
-		if opts.Workers > 1 {
-			g.fallback = FallbackPaperExactNoise
-		}
-		return &Session{impl: g}, nil
 	}
 	return &Session{impl: newStreamSession(opts, hosts)}, nil
 }
@@ -130,8 +114,7 @@ func (s *Session) CloseHost(host string) error { return s.impl.CloseHost(host) }
 //
 // Like pushed timestamps, heartbeats are activity-time, never wall
 // clock: replaying the same push/heartbeat/drain sequence reproduces the
-// same output. PaperExactNoise sessions accept and ignore heartbeats
-// (the global pass has no watermark).
+// same output.
 func (s *Session) Heartbeat(host string, ts time.Duration) error { return s.impl.Heartbeat(host, ts) }
 
 // Close marks every stream complete, drains the remainder and returns the
@@ -152,155 +135,3 @@ func (s *Session) Graphs() []*cag.Graph { return s.impl.Graphs() }
 // Pending returns the number of activities buffered but not yet
 // correlated by a finished shard.
 func (s *Session) Pending() int { return s.impl.Pending() }
-
-// globalSession is the PaperExactNoise session: the Fig. 5 is_noise
-// predicate reads the global window buffer, so the stream cannot be
-// sharded into components. Records buffer per host and the single global
-// ranker+engine pass (Correlator.drive — the same primitive every sealed
-// component runs) correlates everything at Close. Mid-stream Drain is a
-// no-op: with one undivided buffer nothing is decidable until every
-// stream has ended. Ablation-only; production sessions use the streaming
-// engine.
-type globalSession struct {
-	opts     Options
-	drv      *Correlator
-	cls      *activity.Classifier
-	order    []string // declared host order: the ranker's tie-break order
-	open     map[string]bool
-	last     map[string]time.Duration
-	perHost  map[string][]*activity.Activity
-	pushed   int
-	fallback string
-	closed   bool
-	final    *Result
-}
-
-func newGlobalSession(opts Options, hosts []string) *globalSession {
-	drvOpts := opts
-	drvOpts.OnGraph = nil
-	drvOpts.Sinks = nil
-	g := &globalSession{
-		opts:    opts,
-		drv:     New(drvOpts),
-		cls:     activity.NewClassifier(opts.EntryPorts...),
-		open:    make(map[string]bool, len(hosts)),
-		last:    make(map[string]time.Duration, len(hosts)),
-		perHost: make(map[string][]*activity.Activity, len(hosts)),
-	}
-	for _, h := range hosts {
-		if !g.open[h] {
-			g.order = append(g.order, h)
-			g.open[h] = true
-		}
-	}
-	return g
-}
-
-// Push implements sessionImpl.
-func (g *globalSession) Push(a *activity.Activity) error {
-	if g.closed {
-		return fmt.Errorf("core: push on closed session")
-	}
-	open, ok := g.open[a.Ctx.Host]
-	if !ok {
-		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", a.Ctx.Host)
-	}
-	if !open {
-		return fmt.Errorf("core: push on closed source %s", a.Ctx.Host)
-	}
-	if prev, any := g.last[a.Ctx.Host]; any && a.Timestamp < prev {
-		return fmt.Errorf("core: %s timestamp regressed (%v after %v)", a.Ctx.Host, a.Timestamp, prev)
-	}
-	cp := *a
-	cp.Type = g.cls.Classify(a)
-	g.perHost[cp.Ctx.Host] = append(g.perHost[cp.Ctx.Host], &cp)
-	g.last[cp.Ctx.Host] = cp.Timestamp
-	g.pushed++
-	return nil
-}
-
-// PushBatch implements sessionImpl.
-func (g *globalSession) PushBatch(batch []*activity.Activity) error {
-	for _, a := range batch {
-		if err := g.Push(a); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Drain implements sessionImpl: nothing is decidable before Close.
-func (g *globalSession) Drain() int { return 0 }
-
-// CloseHost implements sessionImpl.
-func (g *globalSession) CloseHost(host string) error {
-	if _, ok := g.open[host]; !ok {
-		return fmt.Errorf("core: unknown host %q", host)
-	}
-	g.open[host] = false
-	return nil
-}
-
-// Heartbeat implements sessionImpl: accepted for interface symmetry,
-// ignored (the global pass has no watermark to advance).
-func (g *globalSession) Heartbeat(host string, ts time.Duration) error {
-	if g.closed {
-		return fmt.Errorf("core: heartbeat on closed session")
-	}
-	if _, ok := g.open[host]; !ok {
-		return fmt.Errorf("core: unknown host %q (declare it in NewSession)", host)
-	}
-	return nil
-}
-
-// Close implements sessionImpl: run the global pass over everything.
-func (g *globalSession) Close() *Result {
-	if g.closed {
-		return g.final
-	}
-	g.closed = true
-	sources := make([]ranker.Source, 0, len(g.order))
-	for _, h := range g.order {
-		sources = append(sources, ranker.NewSliceSource(h, g.perHost[h]))
-	}
-	var engOpts []engine.Option
-	if deliver := g.opts.emitter(); deliver != nil {
-		engOpts = append(engOpts, engine.WithOutputFunc(deliver))
-	}
-	start := time.Now()
-	rk, eng := g.drv.drive(sources, engOpts...)
-	g.final = &Result{
-		Graphs:                 eng.Outputs(),
-		CorrelationTime:        time.Since(start),
-		Activities:             g.pushed,
-		Ranker:                 rk.Stats(),
-		Engine:                 eng.Stats(),
-		PeakBufferedActivities: rk.Stats().PeakBuffered,
-		PeakResidentVertices:   eng.PeakResidentVertices(),
-		SequentialFallback:     g.fallback,
-	}
-	return g.final
-}
-
-// AddSink implements sessionImpl: the global pass delivers through the
-// same fused chain at Close.
-func (g *globalSession) AddSink(sink GraphSink) {
-	g.opts.Sinks = append(g.opts.Sinks, sink)
-}
-
-// Graphs implements sessionImpl.
-func (g *globalSession) Graphs() []*cag.Graph {
-	if g.final == nil {
-		return nil
-	}
-	return g.final.Graphs
-}
-
-// Pending implements sessionImpl: everything buffered is pending until
-// Close decides it.
-func (g *globalSession) Pending() int {
-	if g.closed {
-		return 0
-	}
-	return g.pushed
-}

@@ -187,9 +187,10 @@ func TestSessionSealAfterZeroUnchanged(t *testing.T) {
 // TestSessionSealAfterAtEveryPoolSize: the streaming engine supports
 // seal horizons at any Workers value — Workers=1 is just the sequential
 // configuration of the same engine, so a single-threaded forever-open
-// deployment emits continuously too. Only PaperExactNoise rejects
-// horizons (its global window buffer has no components to seal), and the
-// rejection must be specifically about the horizon.
+// deployment emits continuously too. PaperExactNoise included: the
+// shard-aware Fig. 5 predicate made exact mode a normal streaming
+// session, so a forever-open exact deployment emits continuously as
+// well.
 func TestSessionSealAfterAtEveryPoolSize(t *testing.T) {
 	for _, workers := range []int{0, 1, 4} {
 		sess, err := NewSession(foreverOpts(workers, 30*time.Millisecond), []string{"web1", "web2"})
@@ -213,13 +214,23 @@ func TestSessionSealAfterAtEveryPoolSize(t *testing.T) {
 	}
 	exact := foreverOpts(4, 30*time.Millisecond)
 	exact.PaperExactNoise = true
-	if _, err := NewSession(exact, []string{"web1"}); err == nil {
-		t.Fatal("SealAfter with PaperExactNoise not rejected")
+	sess, err := NewSession(exact, []string{"web1", "web2"})
+	if err != nil {
+		t.Fatalf("SealAfter with PaperExactNoise rejected: %v", err)
 	}
-	// Sanity: the rejection is specifically about SealAfter.
-	exact.SealAfter = 0
-	if _, err := NewSession(exact, []string{"web1"}); err != nil {
-		t.Fatalf("PaperExactNoise without SealAfter rejected: %v", err)
+	for k := 0; k < 30; k++ {
+		pushRequest(t, sess, k, time.Duration(k)*10*time.Millisecond)
+		sess.Drain()
+	}
+	if len(sess.Graphs()) == 0 {
+		t.Fatal("forever-open exact session emitted nothing before Close")
+	}
+	out := sess.Close()
+	if len(out.Graphs) != 30 {
+		t.Fatalf("exact session final graphs = %d, want 30", len(out.Graphs))
+	}
+	if out.ForcedSeals == 0 {
+		t.Fatal("exact session recorded no forced seals")
 	}
 }
 

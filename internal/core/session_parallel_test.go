@@ -84,9 +84,6 @@ func TestParallelSessionEquivalence(t *testing.T) {
 					if par.Shards == 0 {
 						t.Fatalf("%s: sharded session reported no shards", label)
 					}
-					if par.SequentialFallback != "" {
-						t.Fatalf("%s: unexpected fallback: %s", label, par.SequentialFallback)
-					}
 				}
 			}
 		})
@@ -374,53 +371,57 @@ func TestSessionInterleavedCloseHostPush(t *testing.T) {
 	assertSameGraphs(t, "interleaved close", seq, run(4))
 }
 
-// TestSessionParallelFallbackSurfaced: the silent PaperExactNoise
-// sequential fallback is now visible in the Result — for sessions and
-// for the batch pipeline — and absent when parallel mode actually runs.
-func TestSessionParallelFallbackSurfaced(t *testing.T) {
+// TestSessionPaperExactNoiseRunsSharded: the exact Fig. 5 ablation is a
+// normal streaming-engine session — Workers > 1 shards it (channel
+// closure keeps every matching SEND co-sharded with its RECEIVE, so the
+// per-shard predicate equals the global answer), heartbeats are accepted
+// and validated like any other mode's, and the offline exact replay
+// shards too.
+func TestSessionPaperExactNoiseRunsSharded(t *testing.T) {
 	res := fastRun(t, 20, nil)
 
 	opts := options(res)
-	opts.Workers = 4
 	opts.PaperExactNoise = true
-	sess, err := NewSession(opts, hostsOf(res))
+	seqSess, err := NewSession(opts, hostsOf(res))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := sess.impl.(*globalSession); !ok {
-		t.Fatal("PaperExactNoise session did not fall back to the global pass")
+	seq := pushReplay(t, seqSess, res, 256)
+	if len(seq.Graphs) == 0 {
+		t.Fatal("sequential exact session produced no graphs")
 	}
-	if got := sess.Close().SequentialFallback; got != FallbackPaperExactNoise {
-		t.Fatalf("session fallback = %q", got)
+
+	opts.Workers = 4
+	parSess, err := NewSession(opts, hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
 	}
+	par := pushReplay(t, parSess, res, 256)
+	assertSameGraphs(t, "paperexact workers=4", seq, par)
+	if par.Shards == 0 {
+		t.Fatal("exact session with Workers=4 reported no shards")
+	}
+
+	hb, err := NewSession(opts, hostsOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hb.Heartbeat(hostsOf(res)[0], time.Second); err != nil {
+		t.Fatalf("exact session rejected a heartbeat: %v", err)
+	}
+	if err := hb.Heartbeat("nosuch", time.Second); err == nil {
+		t.Fatal("exact session accepted a heartbeat for an undeclared host")
+	}
+	hb.Close()
 
 	batch, err := New(opts).CorrelateTrace(res.Trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if batch.SequentialFallback != FallbackPaperExactNoise {
-		t.Fatalf("batch fallback = %q", batch.SequentialFallback)
+	if batch.Shards == 0 {
+		t.Fatal("offline exact replay reported no shards")
 	}
-
-	// No degradation when parallel mode is actually used, and none when
-	// sequential mode was asked for explicitly.
-	opts.PaperExactNoise = false
-	clean, err := New(opts).CorrelateTrace(res.Trace)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if clean.SequentialFallback != "" {
-		t.Fatalf("parallel run reports fallback %q", clean.SequentialFallback)
-	}
-	seqOpts := options(res)
-	seqOpts.PaperExactNoise = true
-	plain, err := New(seqOpts).CorrelateTrace(res.Trace)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if plain.SequentialFallback != "" {
-		t.Fatalf("sequential run reports fallback %q", plain.SequentialFallback)
-	}
+	assertSameGraphs(t, "paperexact offline", seq, batch)
 }
 
 // BenchmarkSessionSharded measures the push-mode pipeline end to end

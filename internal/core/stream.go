@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -15,12 +16,17 @@ import (
 )
 
 // streamSession is the one streaming correlation engine. Every execution
-// mode is a configuration of it: the online Session pushes live records
-// into it, the offline Correlate calls replay a recorded input through it
-// (replay.go), Workers sizes its correlation pool (1 = the sequential
-// configuration), and seal horizons (global or per host) turn it
-// continuous. Only the PaperExactNoise ablation bypasses it, because the
-// Fig. 5 predicate needs one undivided window buffer (globalSession).
+// mode is a configuration of it — there is no other path: the online
+// Session pushes live records into it, the offline Correlate calls replay
+// a recorded input through it (replay.go), Workers sizes its correlation
+// pool (1 = the sequential configuration), and seal horizons (global or
+// per host) turn it continuous. That includes the PaperExactNoise
+// ablation: the Fig. 5 predicate's pending-SEND question is answered from
+// each shard's own window buffer, which the channel-closure invariant
+// makes equal to the global answer — every SEND that could match a
+// RECEIVE shares its ChanKey and therefore its component (see
+// ranker.matchingSendVisible, and assertChanClosure below for the debug
+// check).
 //
 // Pipeline:
 //
@@ -85,6 +91,11 @@ type streamSession struct {
 	comps      map[int32]*sessComponent // keyed by current union-find root
 	nextCompID int
 
+	// chanOwner (debug only) maps each connection seen to the union-find
+	// node it first filed under, for the shard-closure assertion; nil
+	// unless debugShardClosure is set.
+	chanOwner map[activity.ChanKey]int32
+
 	// slab is the block allocator for the per-push buffered copy: pushes
 	// carve records out of slabSize blocks instead of allocating one
 	// Activity each. A block is reclaimed when every graph referencing
@@ -93,6 +104,7 @@ type streamSession struct {
 	slab []activity.Activity
 
 	queue      []*sessComponent // sealed, waiting for a jobs slot
+	sealReady  []*sessComponent // scratch for the per-drain seal scans
 	jobs       chan *sessComponent
 	results    chan sessShardResult
 	wg         sync.WaitGroup
@@ -325,8 +337,38 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 
 func (s *streamSession) worker() {
 	defer s.wg.Done()
+	sc := newShardScratch(s.drv)
 	for c := range s.jobs {
-		s.results <- s.correlateComponent(c)
+		s.results <- s.correlateComponent(sc, c)
+	}
+}
+
+// shardScratch is one worker's reusable correlation machinery: a
+// ranker+engine pair reset per component, plus the source-building
+// buffers. A worker correlates components strictly one after another, so
+// everything here is single-owner; only the result's graphs escape (the
+// engine drops, never reuses, its outputs slice on Reset).
+type shardScratch struct {
+	rk   *ranker.Ranker
+	eng  *engine.Engine
+	runs []namedRun
+	srcs []ranker.SliceSource
+	refs []ranker.Source
+	acts []*activity.Activity
+}
+
+// namedRun pairs one host's buffered run with its name for the
+// deterministic source sort.
+type namedRun struct {
+	name string
+	recs []pushRec
+}
+
+func newShardScratch(drv *Correlator) *shardScratch {
+	eng := engine.New()
+	return &shardScratch{
+		eng: eng,
+		rk:  ranker.New(drv.rankerConfig(), eng, nil),
 	}
 }
 
@@ -335,31 +377,46 @@ func (s *streamSession) worker() {
 // global pass uses, which the deterministic tie-breaks rely on. (Symbol
 // numeric order depends on interning order, so it is never used for
 // anything output-visible.)
-func (s *streamSession) correlateComponent(c *sessComponent) sessShardResult {
-	type namedRun struct {
-		name string
-		recs []pushRec
+func (s *streamSession) correlateComponent(sc *shardScratch, c *sessComponent) sessShardResult {
+	sc.runs = sc.runs[:0]
+	total := 0
+	for _, r := range c.runs {
+		sc.runs = append(sc.runs, namedRun{name: activity.Syms.Name(r.host), recs: r.recs})
+		total += len(r.recs)
 	}
-	runs := make([]namedRun, len(c.runs))
-	for i, r := range c.runs {
-		runs[i] = namedRun{name: activity.Syms.Name(r.host), recs: r.recs}
-	}
-	sort.Slice(runs, func(i, j int) bool { return runs[i].name < runs[j].name })
-	sources := make([]ranker.Source, 0, len(runs))
-	for _, r := range runs {
-		as := make([]*activity.Activity, len(r.recs))
-		for i, pr := range r.recs {
-			as[i] = pr.a
+	// Components span a handful of hosts; insertion sort keeps this
+	// per-seal path free of the sort.Slice closure allocations.
+	for i := 1; i < len(sc.runs); i++ {
+		for j := i; j > 0 && sc.runs[j].name < sc.runs[j-1].name; j-- {
+			sc.runs[j], sc.runs[j-1] = sc.runs[j-1], sc.runs[j]
 		}
-		sources = append(sources, ranker.NewSliceSource(r.name, as))
 	}
-	rk, eng := s.drv.drive(sources)
+	// Size acts up front: the per-run source windows alias its backing
+	// array, so it must not reallocate while they are being cut.
+	if cap(sc.acts) < total {
+		sc.acts = make([]*activity.Activity, 0, total)
+	}
+	sc.acts = sc.acts[:0]
+	if cap(sc.srcs) < len(sc.runs) {
+		sc.srcs = make([]ranker.SliceSource, len(sc.runs))
+	}
+	sc.srcs = sc.srcs[:len(sc.runs)]
+	sc.refs = sc.refs[:0]
+	for i, r := range sc.runs {
+		start := len(sc.acts)
+		for _, pr := range r.recs {
+			sc.acts = append(sc.acts, pr.a)
+		}
+		sc.srcs[i].Reset(r.name, sc.acts[start:len(sc.acts):len(sc.acts)])
+		sc.refs = append(sc.refs, &sc.srcs[i])
+	}
+	s.drv.driveOn(sc.rk, sc.eng, sc.refs)
 	return sessShardResult{
 		comp:         c,
-		graphs:       eng.Outputs(),
-		rstats:       rk.Stats(),
-		estats:       eng.Stats(),
-		peakResident: eng.PeakResidentVertices(),
+		graphs:       sc.eng.Outputs(),
+		rstats:       sc.rk.Stats(),
+		estats:       sc.eng.Stats(),
+		peakResident: sc.eng.PeakResidentVertices(),
 	}
 }
 
@@ -421,12 +478,54 @@ func (s *streamSession) replayPush(cp *activity.Activity) {
 	s.ingest(cp, h)
 }
 
+// debugShardClosure turns on assertChanClosure in every streamSession:
+// the per-push check that no ChanKey ever resolves to two live
+// components — the invariant the shard-aware Fig. 5 predicate rests on
+// (ranker.matchingSendVisible). Tests flip it directly; set
+// CORE_DEBUG_SHARD_CLOSURE=1 to enable it in a normal build.
+var debugShardClosure = os.Getenv("CORE_DEBUG_SHARD_CLOSURE") != ""
+
+// assertChanClosure checks, after cp was assigned to root, that cp's
+// connection has not escaped the component it first filed under. The one
+// legitimate divergence is a dispatched owner: a sealed component's
+// straggler is detached onto a fresh root by design (a late link), so the
+// previous owner must then be sealed or already retired — never live and
+// growing.
+func (s *streamSession) assertChanClosure(cp *activity.Activity, root int32) {
+	if s.chanOwner == nil {
+		s.chanOwner = make(map[activity.ChanKey]int32)
+	}
+	key := cp.ChanK
+	n, ok := s.chanOwner[key]
+	if !ok {
+		if rn, rok := s.chanOwner[key.Reverse()]; rok {
+			key, n, ok = key.Reverse(), rn, true
+		}
+	}
+	if !ok {
+		s.chanOwner[key] = root
+		return
+	}
+	prev := s.inc.Root(n)
+	if prev == root {
+		return
+	}
+	if c := s.comps[prev]; c == nil || c.sealed {
+		s.chanOwner[key] = root // previous owner dispatched: late-link detach
+		return
+	}
+	panic(fmt.Sprintf("core: ChanKey split across two live components (roots %d and %d) — channel-closure invariant violated", prev, root))
+}
+
 // ingest assigns one classified activity to its flow component and
 // buffers it in per-host push order. The caller owns cp, which must be
 // bound.
 func (s *streamSession) ingest(cp *activity.Activity, h *sessHost) {
 	lateBefore := s.inc.LateLinks()
 	root := s.inc.Add(cp)
+	if debugShardClosure {
+		s.assertChanClosure(cp, root)
+	}
 	c := s.comps[root]
 	if c == nil || c.sealed {
 		// sealed here means a late link reached an already-dispatched
@@ -624,7 +723,7 @@ func (s *streamSession) CloseHost(host string) error {
 // sealCompleted seals every component that no open host can extend and
 // queues it for the worker pool, in deterministic creation order.
 func (s *streamSession) sealCompleted() {
-	var ready []*sessComponent
+	ready := s.sealReady[:0]
 	for _, c := range s.comps {
 		if c.sealed || s.growable(c) {
 			continue
@@ -632,6 +731,7 @@ func (s *streamSession) sealCompleted() {
 		ready = append(ready, c)
 	}
 	s.enqueue(ready)
+	s.sealReady = ready[:0]
 }
 
 // compHorizon returns the component's effective seal horizon: the
@@ -668,7 +768,7 @@ func (s *streamSession) sealStale() {
 	if !s.continuous {
 		return
 	}
-	var ready []*sessComponent
+	ready := s.sealReady[:0]
 	for _, c := range s.comps {
 		if c.sealed {
 			continue
@@ -682,6 +782,7 @@ func (s *streamSession) sealStale() {
 	}
 	s.forcedSeals += len(ready)
 	s.enqueue(ready)
+	s.sealReady = ready[:0]
 }
 
 // enqueue seals the given components and queues them for the worker pool
@@ -689,7 +790,13 @@ func (s *streamSession) sealStale() {
 // tombstones each root, so a straggler activity becomes a counted late
 // link on a fresh component instead of touching dispatched buffers.
 func (s *streamSession) enqueue(ready []*sessComponent) {
-	sort.Slice(ready, func(i, j int) bool { return ready[i].id < ready[j].id })
+	// Ready batches are small (the components one drain retires);
+	// insertion sort spares the per-drain sort.Slice closures.
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0 && ready[j].id < ready[j-1].id; j-- {
+			ready[j], ready[j-1] = ready[j-1], ready[j]
+		}
+	}
 	for _, c := range ready {
 		c.sealed = true
 		if s.continuous {

@@ -101,6 +101,20 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
+// Reset returns the engine to its empty state while keeping the mmap and
+// cmap capacity — the worker-pool variant of New for correlating many
+// sealed components on one engine. The previous run's outputs slice is
+// dropped, never truncated and reused, so graphs already handed to the
+// caller stay valid after the reset.
+func (e *Engine) Reset() {
+	clear(e.mmap)
+	clear(e.cmap)
+	e.outputs = nil
+	e.stats = Stats{}
+	e.resident = 0
+	e.peakResident = 0
+}
+
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 

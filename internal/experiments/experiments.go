@@ -506,7 +506,11 @@ func AblationBaselines(scale float64) (*Table, error) {
 
 // AblationPaperExactNoise compares the liveness-aware is_noise (default)
 // with the paper's literal Fig. 5 predicate when the window is far smaller
-// than the skew.
+// than the skew. Both variants run sharded on the streaming engine (the
+// shard-aware predicate made exact mode parallel); each shard's window
+// dynamics are measured against its own flow's frontier, so unrelated
+// noise streams no longer starve a flow's fetches the way the historical
+// global pass's shared window did.
 func AblationPaperExactNoise(scale float64) (*Table, error) {
 	t := &Table{
 		ID:     "ABL2",
@@ -526,6 +530,7 @@ func AblationPaperExactNoise(scale float64) (*Table, error) {
 			EntryPorts:      []int{rubis.EntryPort},
 			IPToHost:        res.IPToHost,
 			PaperExactNoise: paperExact,
+			Workers:         core.ResolveWorkers(0),
 		}).CorrelateTrace(res.Trace)
 		if err != nil {
 			return nil, err

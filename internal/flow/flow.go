@@ -28,6 +28,27 @@
 //     Fig. 3 lines 29–32): the context edge a RECEIVE would inherit from a
 //     previous epoch is suppressed there too, so splitting the epochs
 //     changes no graph.
+//
+// # The channel-closure guarantee
+//
+// Both partitioners — the batch Partition/PartitionParallel scan and the
+// online Incremental — maintain one invariant the shard-aware Fig. 5
+// is_noise predicate rests on: a ChanKey is never split across live
+// components. Structurally, every directed channel and its reverse share
+// one union-find node (the batch scan interns both directions to one
+// dense id; Incremental files ChanK.Reverse() under the same node), and
+// every branch of every scan either files the activity directly under its
+// connection's node or unions the activity's epoch/context node with it —
+// including the RECEIVE-before-SEND case, where the online scan joins the
+// not-yet-sendful connection to the current epoch (an over-merge, never a
+// split). So all SENDs that could match a RECEIVE (same ChanKey) land in
+// the RECEIVE's component, and a per-shard pending/buffered-SEND lookup
+// equals the global one. TestChanKeyNeverSplits fuzzes the invariant over
+// random interleavings; the streaming session asserts it per push in
+// debug builds (core's assertChanClosure). The only sanctioned exception
+// is a sealed component: its stragglers detach onto a fresh component by
+// design (late links), after the sealed shard's correlation is already
+// decided.
 package flow
 
 import (

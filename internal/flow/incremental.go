@@ -29,6 +29,13 @@ import (
 // and final roots are fully deterministic. Add is not safe for concurrent
 // use; the caller serialises (the Session push path is single-goroutine).
 //
+// Add upholds the package's channel-closure guarantee (see the package
+// doc): every branch below either files the activity under its
+// connection's node or unions the epoch/context node with it, so a
+// ChanKey never splits across live components — the invariant the
+// shard-aware exact is_noise predicate relies on, fuzzed by
+// TestChanKeyNeverSplits.
+//
 // Memory: the interning maps grow with every distinct connection and
 // epoch seen — unbounded for a single Session fed forever — unless the
 // caller retires dispatched components with Seal and Prune (tracking
@@ -51,6 +58,7 @@ type Incremental struct {
 	keys       map[int32]*compKeys // root -> keys for Prune; nil = untracked
 	tombstones map[int32]struct{}  // sealed roots: late links detach
 	scheduled  []pendingPrune      // prunes deferred to a future clock
+	keyPool    []*compKeys         // recycled reverse-index entries
 	lateLinks  int
 	pruned     int
 }
@@ -113,6 +121,7 @@ func (in *Incremental) union(a, b int32) {
 			if wk := in.keys[w]; wk != nil {
 				wk.chans = append(wk.chans, lk.chans...)
 				wk.ctxs = append(wk.ctxs, lk.ctxs...)
+				in.recycleKeys(lk)
 			} else {
 				in.keys[w] = lk
 			}
@@ -135,10 +144,29 @@ func (in *Incremental) rootKeys(n int32) *compKeys {
 	r := in.d.find(n)
 	k := in.keys[r]
 	if k == nil {
-		k = &compKeys{}
+		if p := len(in.keyPool); p > 0 {
+			k = in.keyPool[p-1]
+			in.keyPool = in.keyPool[:p-1]
+		} else {
+			k = &compKeys{}
+		}
 		in.keys[r] = k
 	}
 	return k
+}
+
+// recycleKeys returns a detached reverse-index entry to the pool with its
+// capacity intact, so a continuous session's steady churn of short-lived
+// components stops allocating per-component key tracking. The pool is
+// capped: beyond it, retiring a large entry releases its memory instead
+// of pinning it.
+func (in *Incremental) recycleKeys(k *compKeys) {
+	if len(in.keyPool) >= 64 {
+		return
+	}
+	k.chans = k.chans[:0]
+	k.ctxs = k.ctxs[:0]
+	in.keyPool = append(in.keyPool, k)
 }
 
 func (in *Incremental) noteChan(ch activity.ChanKey, n int32) {
@@ -347,6 +375,7 @@ func (in *Incremental) Prune(root int32) {
 			}
 		}
 		delete(in.keys, root)
+		in.recycleKeys(k)
 	}
 	// Every entry resolving to the root is gone, so Add can never reach
 	// the tombstone again — drop it too, keeping ALL bookkeeping bounded.

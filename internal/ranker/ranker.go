@@ -18,11 +18,18 @@ package ranker
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
 	"repro/internal/activity"
 )
+
+// Debug enables the package's internal assertions (currently the
+// exact-mode is_noise cross-check in assertNoBufferedSend). Tests flip it
+// directly; set RANKER_DEBUG=1 to enable it in a normal build. Off by
+// default: the assertions are quadratic in the buffer.
+var Debug = os.Getenv("RANKER_DEBUG") != ""
 
 // Source yields one node's activities in that node's local-clock order.
 type Source interface {
@@ -47,6 +54,12 @@ type SliceSource struct {
 // SortByTimestamp.
 func NewSliceSource(host string, as []*activity.Activity) *SliceSource {
 	return &SliceSource{host: host, as: as}
+}
+
+// Reset rearms the source over a new slice, reusing the struct — the
+// worker-pool path rebuilds its per-component sources in place.
+func (s *SliceSource) Reset(host string, as []*activity.Activity) {
+	s.host, s.as, s.pos = host, as, 0
 }
 
 // Host implements Source.
@@ -231,7 +244,10 @@ type Config struct {
 	// without consulting sender liveness. The default (false) additionally
 	// requires that the sender cannot produce the SEND anymore, which keeps
 	// accuracy at 100% even when the window is far smaller than the clock
-	// skew. Used for ablation.
+	// skew. Used for ablation. Under channel-closure sharding the predicate
+	// is served per shard (see matchingSendVisible for the invariant): a
+	// shard-local answer equals the global one, so exact mode runs on the
+	// streaming engine like every other mode.
 	PaperExactNoise bool
 }
 
@@ -321,6 +337,35 @@ func New(cfg Config, index MsgIndex, sources []Source) *Ranker {
 		r.queues = append(r.queues, &queue{host: s.Host(), src: s})
 	}
 	return r
+}
+
+// Reset rearms the ranker over fresh sources, reusing the queue buffers
+// and channel-index capacity of the previous run. It is the worker-pool
+// variant of New: a continuous session correlates thousands of small
+// sealed components, and rebuilding the ranker for each one dominated
+// the steady-state allocation profile. The configuration is kept from
+// New; only the per-run state is cleared.
+func (r *Ranker) Reset(index MsgIndex, sources []Source) {
+	r.index = index
+	r.stats = Stats{}
+	r.buffered = 0
+	clear(r.bufferedSends)
+	if cap(r.queues) < len(sources) {
+		r.queues = append(r.queues[:cap(r.queues)], make([]*queue, len(sources)-cap(r.queues))...)
+	}
+	r.queues = r.queues[:len(sources)]
+	for i, s := range sources {
+		q := r.queues[i]
+		if q == nil {
+			q = &queue{}
+			r.queues[i] = q
+		}
+		q.host = s.Host()
+		q.src = s
+		clear(q.buf[:cap(q.buf)])
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
 }
 
 // NewFromTrace builds a ranker from a merged trace, splitting per host.
@@ -549,14 +594,48 @@ func (r *Ranker) dropNoiseHead() bool {
 	return false
 }
 
-func (r *Ranker) isNoise(a *activity.Activity) bool {
-	if r.index.HasPendingSend(a.ChanK) {
-		return false
+// matchingSendVisible answers the Fig. 5 question — "is there a pending
+// matching SEND anywhere in the window?" — from the two indexes this
+// ranker already maintains: the engine's mmap of unconsumed SENDs
+// (MsgIndex.HasPendingSend) and the per-channel count of SENDs still
+// buffered in the window (bufferedSends).
+//
+// Shard-closure invariant: the answer needs no global view. The flow
+// partition (internal/flow) is a union-find closed over channels — every
+// activity unions with its connection's node, and both directions of a
+// connection share one node — so every SEND that could ever match a
+// RECEIVE (same ChanKey: the mmap and buffer lookups key on exactly that)
+// is in the RECEIVE's component, and therefore feeds the same
+// ranker+engine pair. A shard-local "no" is a global "no". The streaming
+// session asserts the component side of this at ingest when Debug is set
+// (no ChanKey resolves to two live components), internal/flow's
+// TestChanKeyNeverSplits fuzzes it, and Debug mode cross-checks the
+// bufferedSends index against a brute-force buffer scan here.
+func (r *Ranker) matchingSendVisible(ch activity.ChanKey) bool {
+	return r.index.HasPendingSend(ch) || r.bufferedSends[ch] > 0
+}
+
+// assertNoBufferedSend (Debug only) re-derives "no SEND for ch is
+// buffered" by brute force before an exact-mode noise drop commits to it,
+// catching any rot in the bufferedSends counter the fast path trusts.
+func (r *Ranker) assertNoBufferedSend(ch activity.ChanKey) {
+	for _, q := range r.queues {
+		for i := 0; i < q.len(); i++ {
+			if x := q.at(i); x.Type == activity.Send && x.ChanK == ch {
+				panic("ranker: bufferedSends index missed a buffered SEND (is_noise would drop a matchable RECEIVE)")
+			}
+		}
 	}
-	if r.bufferedSends[a.ChanK] > 0 {
+}
+
+func (r *Ranker) isNoise(a *activity.Activity) bool {
+	if r.matchingSendVisible(a.ChanK) {
 		return false
 	}
 	if r.cfg.PaperExactNoise {
+		if Debug {
+			r.assertNoBufferedSend(a.ChanK)
+		}
 		return true
 	}
 	senderHost, traced := r.cfg.IPToHost[a.Chan.Src.IP]

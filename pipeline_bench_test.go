@@ -73,9 +73,14 @@ type benchReport struct {
 	// AllocsBaseline is the close-driven session_push allocs_per_op
 	// before the interned identity layer — the reference the current
 	// entries' allocation cut is measured against.
-	AllocsBaseline uint64               `json:"session_push_allocs_baseline,omitempty"`
-	SessionPush    []sessionPushEntry   `json:"session_push,omitempty"`
-	MonitorIngest  []monitorIngestEntry `json:"monitor_ingest,omitempty"`
+	AllocsBaseline uint64 `json:"session_push_allocs_baseline,omitempty"`
+	// AllocsBaselineContinuous is the continuous-mode (SealAfter)
+	// session_push allocs_per_op before the worker pool reused its
+	// ranker/engine pair across sealed components — the reference for
+	// the continuous allocation gate (make bench-allocs).
+	AllocsBaselineContinuous uint64               `json:"session_push_allocs_baseline_continuous,omitempty"`
+	SessionPush              []sessionPushEntry   `json:"session_push,omitempty"`
+	MonitorIngest            []monitorIngestEntry `json:"monitor_ingest,omitempty"`
 }
 
 // monitorFeed runs one full monitor pass over pre-correlated graphs.
@@ -305,7 +310,8 @@ func TestPipelineSpeedupTrajectory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		report.AllocsBaseline = 178250 // close-driven, before dense interned identities
+		report.AllocsBaseline = 178250           // close-driven, before dense interned identities
+		report.AllocsBaselineContinuous = 139041 // SealAfter mode, before worker-pool ranker/engine reuse
 		for _, pc := range []struct {
 			workers   int
 			sealAfter time.Duration
