@@ -12,13 +12,14 @@ GO ?= go
 
 # Minimum combined statement coverage for the correlator's concurrency
 # core (internal/core + internal/flow + internal/live) plus the live
-# analytics tier (internal/sketch + internal/export) — the packages the
-# sharded batch pipeline, the sharded push-mode session (including the
-# SealAfter continuous mode), the online monitor and its bounded-memory
-# sketches and export sinks live in.
+# analytics tier (internal/sketch + internal/export) and the pipeline's
+# handoff primitive (internal/ring) — the packages the sharded batch
+# pipeline, the sharded push-mode session (including the SealAfter
+# continuous mode), the ring-buffered dispatch, the online monitor and
+# its bounded-memory sketches and export sinks live in.
 COVER_MIN ?= 85
 
-.PHONY: ci vet lint build test race cover bench bench-allocs bench-promote soak soak-short
+.PHONY: ci vet lint build test race cover bench bench-allocs bench-promote bench-scaling soak soak-short
 
 ci: vet lint build test race cover bench bench-allocs soak-short
 
@@ -45,8 +46,8 @@ race:
 	$(GO) test -race ./...
 
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/flow ./internal/live ./internal/sketch ./internal/export
-	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) '/^total:/ { pct = $$3; sub(/%/, "", pct); printf "coverage: %s%% of statements in internal/core+internal/flow+internal/live+internal/sketch+internal/export (minimum %s%%)\n", pct, min; exit (pct + 0 < min + 0) }'
+	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/flow ./internal/live ./internal/sketch ./internal/export ./internal/ring
+	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) '/^total:/ { pct = $$3; sub(/%/, "", pct); printf "coverage: %s%% of statements in internal/core+internal/flow+internal/live+internal/sketch+internal/export+internal/ring (minimum %s%%)\n", pct, min; exit (pct + 0 < min + 0) }'
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
@@ -57,13 +58,14 @@ bench:
 # accidental per-record allocation costs ~37k allocs/op here and blows
 # either budget immediately.
 #
-#   seq-close-driven: ~54k measured (down from 178,250 before dense
-#   interned identities, ~68k before the worker-pool ranker/engine reuse).
-ALLOCS_BUDGET ?= 70000
-#   seq-continuous (SealAfter horizon, per-component forced seals): ~65k
+#   seq-close-driven: ~54k measured on the ring-buffered pipeline (down
+#   from 178,250 before dense interned identities, ~68k before the
+#   worker-pool ranker/engine reuse).
+ALLOCS_BUDGET ?= 65000
+#   seq-continuous (SealAfter horizon, per-component forced seals): ~64k
 #   measured after the worker-pool reuse + flow key recycling, down from
 #   ~139k when every sealed component rebuilt its ranker and engine.
-ALLOCS_BUDGET_CONTINUOUS ?= 82000
+ALLOCS_BUDGET_CONTINUOUS ?= 78000
 
 bench-allocs:
 	@$(GO) test -run '^$$' -bench 'BenchmarkSessionPush/seq-(close-driven|continuous)' \
@@ -79,6 +81,16 @@ bench-allocs:
 			if (found != 2) { printf "bench-allocs: expected 2 benchmark results, got %d\n", found; exit 1 } \
 			exit bad \
 		}'
+
+# Scaling-efficiency gate: parallel efficiency (speedup/workers) at the
+# largest benchmark scale with workers=NumCPU must stay above
+# SCALING_FLOOR. Skips itself on single-CPU hosts and under -race; the
+# hosted bench job runs it on every push (see .github/workflows/ci.yml).
+SCALING_FLOOR ?= 0.30
+
+bench-scaling:
+	BENCH_SCALING_GATE=1 SCALING_FLOOR=$(SCALING_FLOOR) \
+		$(GO) test -run TestScalingEfficiencyGate -count=1 -v -timeout 10m .
 
 # Promote a downloaded CI bench run into the checked-in baseline: the
 # hosted bench job uploads BENCH_pipeline.json + bench.txt as the

@@ -34,9 +34,21 @@ import (
 // the fields benchpromote inspects are typed; everything else rides
 // through the RawMessage round-trip untouched.
 type report struct {
-	Benchmark   string            `json:"benchmark"`
-	Entries     []json.RawMessage `json:"entries"`
-	SessionPush []sessionPush     `json:"session_push,omitempty"`
+	Benchmark   string        `json:"benchmark"`
+	Entries     []matrixEntry `json:"entries"`
+	SessionPush []sessionPush `json:"session_push,omitempty"`
+
+	rest map[string]json.RawMessage
+}
+
+// matrixEntry types the speedup-matrix fields benchpromote validates:
+// every promoted entry must carry a sane worker count and speedup, and
+// its efficiency field must agree with speedup/workers — older artifacts
+// without the field get it folded in here.
+type matrixEntry struct {
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup_vs_seq"`
+	Efficiency float64 `json:"efficiency"`
 
 	rest map[string]json.RawMessage
 }
@@ -83,6 +95,24 @@ func promote(artifact, out string) error {
 	}
 	if len(rep.Entries) == 0 {
 		return fmt.Errorf("%s: empty speedup matrix; refusing to promote", src)
+	}
+	folded := 0
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		if e.Workers < 1 {
+			return fmt.Errorf("%s: entry %d: workers %d < 1", src, i, e.Workers)
+		}
+		if e.Speedup <= 0 {
+			return fmt.Errorf("%s: entry %d: speedup_vs_seq %g must be positive", src, i, e.Speedup)
+		}
+		want := e.Speedup / float64(e.Workers)
+		if drift := e.Efficiency - want; drift > 1e-9 || drift < -1e-9 {
+			e.Efficiency = want
+			folded++
+		}
+	}
+	if folded > 0 {
+		fmt.Printf("benchpromote: folded efficiency = speedup/workers into %d matrix entries\n", folded)
 	}
 
 	// bench.txt is optional (the artifact always has it, but promoting a
@@ -137,14 +167,34 @@ func parseReport(raw []byte) (*report, error) {
 		rep.SessionPush[i].rest = pushRaw[i]
 	}
 	delete(rep.rest, "session_push")
+	var entriesRaw []map[string]json.RawMessage
+	if en, ok := rep.rest["entries"]; ok {
+		if err := json.Unmarshal(en, &entriesRaw); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rep.Entries {
+		rep.Entries[i].rest = entriesRaw[i]
+	}
+	delete(rep.rest, "entries")
 	return &rep, nil
 }
 
 func (r *report) marshal() ([]byte, error) {
-	top := make(map[string]any, len(r.rest)+1)
+	top := make(map[string]any, len(r.rest)+2)
 	for k, v := range r.rest {
 		top[k] = v
 	}
+	entries := make([]map[string]any, len(r.Entries))
+	for i, e := range r.Entries {
+		m := make(map[string]any, len(e.rest)+1)
+		for k, v := range e.rest {
+			m[k] = v
+		}
+		m["efficiency"] = e.Efficiency
+		entries[i] = m
+	}
+	top["entries"] = entries
 	if len(r.SessionPush) > 0 {
 		push := make([]map[string]any, len(r.SessionPush))
 		for i, e := range r.SessionPush {

@@ -55,6 +55,7 @@ func run() error {
 	)
 	shared := cli.RegisterCorrelator(flag.CommandLine)
 	heartbeatFlag := cli.RegisterHeartbeat(flag.CommandLine)
+	pprofAddr := cli.RegisterPprof(flag.CommandLine)
 	flag.Parse()
 	heartbeat := *heartbeatFlag
 	if (*inDir == "") == (*listen == "") {
@@ -103,6 +104,12 @@ func run() error {
 	exports, err := shared.Apply(&opts)
 	if err != nil {
 		return err
+	}
+	if bound, stopPprof, err := cli.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if bound != "" {
+		defer stopPprof()
+		fmt.Fprintf(os.Stderr, "pprof: serving profiles on http://%s/debug/pprof/\n", bound)
 	}
 
 	if *listen != "" {

@@ -53,6 +53,7 @@ func run() error {
 		batch     = flag.Int("batch", 0, "retained for compatibility; the streaming engine dispatches flow components individually, so this is validated but ignored")
 	)
 	shared := cli.RegisterCorrelator(flag.CommandLine)
+	pprofAddr := cli.RegisterPprof(flag.CommandLine)
 	flag.Parse()
 	if *in == "" && *inDir == "" {
 		return cli.Usagef("-in or -indir is required")
@@ -93,6 +94,12 @@ func run() error {
 	exports, err := shared.Apply(&opts)
 	if err != nil {
 		return err
+	}
+	if bound, stopPprof, err := cli.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if bound != "" {
+		defer stopPprof()
+		fmt.Fprintf(os.Stderr, "pprof: serving profiles on http://%s/debug/pprof/\n", bound)
 	}
 	// Registering any sink streams graphs away from Result.Graphs, but
 	// the offline CLI's analyses all want the full set — collect them

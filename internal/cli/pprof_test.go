@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestStartPprofServes(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	addr := RegisterPprof(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	bound, stop, err := StartPprof(*addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+	// Only pprof paths are mounted: anything else on the debug port 404s.
+	resp, err = http.Get("http://" + bound + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET / = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStartPprofEmptyIsNoOp(t *testing.T) {
+	bound, stop, err := StartPprof("")
+	if err != nil || bound != "" {
+		t.Fatalf("StartPprof(\"\") = %q, %v; want empty, nil", bound, err)
+	}
+	stop() // must be callable
+}
+
+func TestStartPprofBadAddr(t *testing.T) {
+	_, _, err := StartPprof("definitely-not-an-address:notaport")
+	if err == nil {
+		t.Fatal("want error for unparseable address")
+	}
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("want ErrUsage, got %v", err)
+	}
+}

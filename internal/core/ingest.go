@@ -20,11 +20,15 @@ type IngestOptions struct {
 	// stall back to the agents. Default 1024.
 	Buffer int
 
-	// DrainEvery is how many applied operations elapse between Drain
-	// calls — the same cadence knob as offline replay. Default 1024
+	// DrainEvery is how many applied operations elapse between drain
+	// points — the same cadence knob as offline replay. Default 1024
 	// (replayDrainEvery), keeping a networked run's drain rhythm aligned
 	// with ReplayTrace so output ordering is comparable. Use 1 to drain
-	// after every operation.
+	// after every operation. Cadence drains are pipelined (Session.Tick):
+	// the ingest goroutine seals and emits what is already decidable
+	// without stalling behind in-flight shards, so applying and
+	// correlating overlap; FlushInterval and CloseHost still use the full
+	// Drain barrier.
 	DrainEvery int
 
 	// FlushInterval, when positive, also drains on a wall-clock period
@@ -169,27 +173,38 @@ func (in *Ingest) Heartbeat(host string, ts time.Duration) error {
 	return in.send(ingestOp{kind: opHeartbeat, host: host, ts: ts})
 }
 
+// replyPool recycles the one-shot reply channels CloseHost and Sync
+// block on. A channel is returned to the pool only after its reply has
+// been received, so a pooled channel is always empty.
+var replyPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
 // CloseHost seals one host's stream, waiting until every previously
 // offered operation has been applied and the close has taken effect.
 func (in *Ingest) CloseHost(host string) error {
 	if err := in.stickyErr(host); err != nil {
 		return err
 	}
-	reply := make(chan error, 1)
+	reply := replyPool.Get().(chan error)
 	if err := in.send(ingestOp{kind: opCloseHost, host: host, reply: reply}); err != nil {
+		replyPool.Put(reply)
 		return err
 	}
-	return <-reply
+	err := <-reply
+	replyPool.Put(reply)
+	return err
 }
 
 // Sync blocks until every operation offered before it has been applied —
 // a barrier for tests and status readers.
 func (in *Ingest) Sync() error {
-	reply := make(chan error, 1)
+	reply := replyPool.Get().(chan error)
 	if err := in.send(ingestOp{kind: opSync, reply: reply}); err != nil {
+		replyPool.Put(reply)
 		return err
 	}
-	return <-reply
+	err := <-reply
+	replyPool.Put(reply)
+	return err
 }
 
 // Close shuts the queue, applies what remains, closes the session and
@@ -294,7 +309,7 @@ func (in *Ingest) apply(op ingestOp, sinceDrain *int) {
 	if op.kind == opRecord || op.kind == opHeartbeat {
 		*sinceDrain++
 		if *sinceDrain >= in.opts.DrainEvery {
-			in.session.Drain()
+			in.session.Tick()
 			*sinceDrain = 0
 		}
 	}
@@ -334,7 +349,7 @@ func (in *Ingest) applyBatch(recs []*activity.Activity, sinceDrain *int) {
 		in.release(rec)
 		*sinceDrain++
 		if *sinceDrain >= in.opts.DrainEvery {
-			in.session.Drain()
+			in.session.Tick()
 			*sinceDrain = 0
 		}
 	}

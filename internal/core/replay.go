@@ -51,6 +51,21 @@ func (c *Correlator) replayTrace(trace []*activity.Activity) (*Result, error) {
 	if c.opts.continuousConfigured() {
 		every = replayDrainEvery
 	}
+	// Close-driven replays overlap partition with correlation: when the
+	// trace proves safe (earlyCloseSafe), each host is closed right
+	// after its last record, so completed components seal and dispatch
+	// to the worker pool mid-replay instead of all at once at Close —
+	// the serial partition phase and the parallel correlation phase run
+	// concurrently. Continuous replays keep the close-at-end shape:
+	// closing a host early would shrink components' seal horizons
+	// mid-replay and change which seals are forced.
+	var lastIdx map[string]int
+	if every == 0 && s.earlyCloseSafe(trace) {
+		lastIdx = make(map[string]int, len(hosts))
+		for i, a := range trace {
+			lastIdx[a.Ctx.Host] = i
+		}
+	}
 	for i, a := range trace {
 		cp := s.copyRec(a)
 		cp.Type = cls.Classify(a)
@@ -58,8 +73,41 @@ func (c *Correlator) replayTrace(trace []*activity.Activity) (*Result, error) {
 		if every > 0 && (i+1)%every == 0 {
 			s.Drain()
 		}
+		if lastIdx != nil && lastIdx[a.Ctx.Host] == i {
+			if err := s.CloseHost(a.Ctx.Host); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return c.finishReplay(s, len(trace), start), nil
+}
+
+// earlyCloseSafe reports whether a close-driven replay may close each
+// host at its last record without changing a single seal grouping: it
+// holds when every record's pushing host owns at least one resolvable
+// endpoint of the record's own connection. Then any component whose
+// contributing hosts have all closed really is complete — a later
+// record that could join it shares one of its connections, and that
+// connection's still-open side resolved into the component's
+// contributor set when the connection was first seen, so the component
+// was not sealable. An unresolvable own-side endpoint means IPToHost
+// misses a traced host's address; sealing early there could split what
+// close-at-end would have joined, so the replay degrades to the
+// close-at-end shape (exactly like the ranker degrades its noise
+// reasoning on the same misconfiguration).
+func (s *streamSession) earlyCloseSafe(trace []*activity.Activity) bool {
+	if len(s.ipHost) == 0 {
+		return false
+	}
+	for _, a := range trace {
+		if !a.CtxK.Bound() {
+			activity.Bind(a)
+		}
+		if s.ipHost[a.ChanK.SrcIP] != a.CtxK.Host && s.ipHost[a.ChanK.DstIP] != a.CtxK.Host {
+			return false
+		}
+	}
+	return true
 }
 
 // replaySources correlates pre-classified per-node sources by merging

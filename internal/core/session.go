@@ -49,6 +49,7 @@ type sessionImpl interface {
 	Push(a *activity.Activity) error
 	PushBatch(batch []*activity.Activity) error
 	Drain() int
+	Tick() int
 	CloseHost(host string) error
 	Heartbeat(host string, ts time.Duration) error
 	Close() *Result
@@ -96,6 +97,17 @@ func (s *Session) PushBatch(batch []*activity.Activity) error { return s.impl.Pu
 // for every dispatched component to finish correlating, and releases the
 // graphs the watermark permits.
 func (s *Session) Drain() int { return s.impl.Drain() }
+
+// Tick is the non-blocking Drain: it makes the same deterministic seal
+// decisions at the same point in the event stream, but releases only the
+// graphs whose components the worker pool has already finished, instead
+// of waiting for the in-flight ones — the pipelined cadence a live
+// ingest front uses so pushing and correlating overlap. Graphs emerge in
+// the same deterministic order as under Drain (sealed-but-in-flight
+// components still bound the watermark); a Tick cadence only shifts
+// *when* each graph is released, never what it contains or its order. A
+// final Drain or Close delivers whatever Tick left in flight.
+func (s *Session) Tick() int { return s.impl.Tick() }
 
 // CloseHost marks one host's stream complete (its agent shut down). This
 // is what seals components absent a horizon: a flow component whose every

@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flow"
 	"repro/internal/ranker"
+	"repro/internal/ring"
 )
 
 // streamSession is the one streaming correlation engine. Every execution
@@ -103,13 +104,27 @@ type streamSession struct {
 	// of one block arrive together and seal together.
 	slab []activity.Activity
 
-	queue      []*sessComponent // sealed, waiting for a jobs slot
+	// Two-stage pipeline plumbing. Stage 1 is the session goroutine:
+	// apply + flow partition + the seal decisions (which MUST stay on
+	// deterministic event-stream points — Seal tombstones feed back into
+	// how later records partition). Sealed components move to the worker
+	// pool through the jobs ring in batches; shard results return through
+	// the results ring to the stage-2 collector goroutine, which
+	// aggregates them into collected/colBuf so workers never stall on a
+	// busy stage 1. Stage 1 folds them in via harvest (non-blocking) or
+	// settle (the Drain/Close barrier).
 	sealReady  []*sessComponent // scratch for the per-drain seal scans
-	jobs       chan *sessComponent
-	results    chan sessShardResult
-	wg         sync.WaitGroup
-	dispatched int
-	collected  int
+	jobs       *ring.Ring[*sessComponent]
+	results    *ring.Ring[sessShardResult]
+	wg         sync.WaitGroup // workers
+	colWG      sync.WaitGroup // the stage-2 collector
+	dispatched int            // stage-1 only: components pushed to jobs
+
+	colMu      sync.Mutex
+	colReady   sync.Cond         // collected advanced; waiters: settle
+	collected  int               // shard results received (guarded by colMu)
+	colBuf     []sessShardResult // received, awaiting stage-1 absorption
+	colScratch []sessShardResult // harvest's swap buffer
 
 	finished []taggedGraph // correlated, held back by the watermark
 	unsorted bool          // finished gained graphs since the last sort
@@ -140,7 +155,7 @@ type streamSession struct {
 	peakVert int
 	shards   int
 	// workTime is the wall-clock time this session spent correlating —
-	// the time blocked in settle/pump/emit, which is the shard work's
+	// the time blocked in settle/harvest/emit, which is the shard work's
 	// critical path, not the sum of concurrent shard times. It matches
 	// the historical sequential session's drain-time accounting.
 	workTime time.Duration
@@ -151,6 +166,14 @@ type streamSession struct {
 
 // slabSize is how many buffered-copy records one slab block holds.
 const slabSize = 512
+
+// workerPullBatch is how many sealed components one worker takes per
+// jobs-ring wakeup. PopBatch is adaptive — a batch only forms under
+// backlog — so this caps amortization, it never delays a lone seal.
+const workerPullBatch = 8
+
+// collectorPullBatch sizes the stage-2 collector's results-ring reads.
+const collectorPullBatch = 32
 
 // copyRec copies one record into the session's slab. The returned copy
 // is owned by the session (component buffers, then CAG vertices).
@@ -293,6 +316,14 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 	drvOpts.Workers = 0
 	drvOpts.OnGraph = nil
 	drvOpts.Sinks = nil
+	// The jobs ring is deep enough that a burst of seals (one drain can
+	// retire hundreds of components) dispatches without stalling stage 1;
+	// the results ring is deep enough that workers can land every
+	// in-flight batch even if the collector is momentarily descheduled.
+	jobsCap := 8 * workers
+	if jobsCap < 64 {
+		jobsCap = 64
+	}
 	s := &streamSession{
 		opts:       opts,
 		workers:    workers,
@@ -300,11 +331,12 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 		cls:        activity.NewClassifier(opts.EntryPorts...),
 		hosts:      make(map[activity.Sym]*sessHost, len(hosts)),
 		comps:      make(map[int32]*sessComponent),
-		jobs:       make(chan *sessComponent, 2*workers),
-		results:    make(chan sessShardResult, 2*workers),
+		jobs:       ring.New[*sessComponent](jobsCap),
+		results:    ring.New[sessShardResult](jobsCap + workers*workerPullBatch),
 		continuous: opts.continuousConfigured(),
 		maxHorizon: opts.maxHorizon(),
 	}
+	s.colReady.L = &s.colMu
 	s.deliver = opts.emitter()
 	s.inc = flow.NewIncremental(opts.ShardBy.flowMode(), s.mergeComponents)
 	if s.continuous {
@@ -332,14 +364,55 @@ func newStreamSession(opts Options, hosts []string) *streamSession {
 	for w := 0; w < workers; w++ {
 		go s.worker()
 	}
+	s.colWG.Add(1)
+	go s.collector()
 	return s
 }
 
+// worker pulls sealed components in batches (one ring wakeup amortized
+// over up to workerPullBatch correlations) and lands the whole run's
+// results as one batch. The batch is adaptive: under light load
+// PopBatch returns a single component immediately, so a lone seal is
+// never delayed waiting for company.
 func (s *streamSession) worker() {
 	defer s.wg.Done()
 	sc := newShardScratch(s.drv)
-	for c := range s.jobs {
-		s.results <- s.correlateComponent(sc, c)
+	comps := make([]*sessComponent, workerPullBatch)
+	out := make([]sessShardResult, 0, workerPullBatch)
+	for {
+		n := s.jobs.PopBatch(comps)
+		if n == 0 {
+			return
+		}
+		out = out[:0]
+		for i, c := range comps[:n] {
+			out = append(out, s.correlateComponent(sc, c))
+			comps[i] = nil
+		}
+		s.results.PushBatch(out)
+	}
+}
+
+// collector is the stage-2 aggregation goroutine: it continuously drains
+// the results ring into colBuf so workers always find room to land
+// finished shards, even while stage 1 is deep in a partition burst.
+// Stage 1 folds the aggregate in at its own cadence (harvest/settle).
+func (s *streamSession) collector() {
+	defer s.colWG.Done()
+	buf := make([]sessShardResult, collectorPullBatch)
+	for {
+		n := s.results.PopBatch(buf)
+		if n == 0 {
+			return
+		}
+		s.colMu.Lock()
+		s.colBuf = append(s.colBuf, buf[:n]...)
+		s.collected += n
+		s.colReady.Broadcast()
+		s.colMu.Unlock()
+		for i := 0; i < n; i++ {
+			buf[i] = sessShardResult{}
+		}
 	}
 }
 
@@ -715,7 +788,7 @@ func (s *streamSession) CloseHost(host string) error {
 		h.open = false
 		s.sealCompleted()
 	}
-	s.pump()
+	s.harvest()
 	s.workTime += time.Since(start)
 	return nil
 }
@@ -785,10 +858,14 @@ func (s *streamSession) sealStale() {
 	s.sealReady = ready[:0]
 }
 
-// enqueue seals the given components and queues them for the worker pool
-// in deterministic creation order. In continuous mode the flow partition
-// tombstones each root, so a straggler activity becomes a counted late
-// link on a fresh component instead of touching dispatched buffers.
+// enqueue seals the given components and dispatches them to the worker
+// pool in deterministic creation order, as one batched ring push. In
+// continuous mode the flow partition tombstones each root, so a
+// straggler activity becomes a counted late link on a fresh component
+// instead of touching dispatched buffers — and the flow-bookkeeping
+// prune is scheduled here, at seal time, where maxTs is a deterministic
+// function of the event stream (absorption timing is pipelined and
+// therefore no longer deterministic).
 func (s *streamSession) enqueue(ready []*sessComponent) {
 	// Ready batches are small (the components one drain retires);
 	// insertion sort spares the per-drain sort.Slice closures.
@@ -801,9 +878,20 @@ func (s *streamSession) enqueue(ready []*sessComponent) {
 		c.sealed = true
 		if s.continuous {
 			s.inc.Seal(c.root)
+			// Keep late-link detection alive exactly as long as the
+			// liveness bounds admit stragglers, then prune.
+			lag := s.compHorizon(c)
+			if lag <= 0 {
+				lag = s.maxHorizon
+			}
+			s.inc.SchedulePrune(c.root, s.maxTs+lag)
 		}
 	}
-	s.queue = append(s.queue, ready...)
+	// Blocking push is safe here: workers always drain jobs, the
+	// collector always drains results, and stage 1 holds no locks — a
+	// full ring is backpressure, not deadlock.
+	s.jobs.PushBatch(ready)
+	s.dispatched += len(ready)
 	s.shards += len(ready)
 }
 
@@ -818,53 +906,44 @@ func (s *streamSession) growable(c *sessComponent) bool {
 	return false
 }
 
-// pump moves work without blocking: queued components into free job
-// slots, finished shards out of the results channel.
-func (s *streamSession) pump() {
-	for {
-		progress := false
-		if len(s.queue) > 0 {
-			select {
-			case s.jobs <- s.queue[0]:
-				s.queue = s.queue[1:]
-				s.dispatched++
-				progress = true
-			default:
-			}
-		}
-		select {
-		case r := <-s.results:
-			s.absorb(r)
-			progress = true
-		default:
-		}
-		if !progress {
-			return
-		}
+// harvest folds everything the collector has aggregated into the
+// session, without waiting for in-flight shards — the non-blocking half
+// of the stage-1/stage-2 handshake. The two buffers ping-pong so the
+// steady state allocates nothing.
+func (s *streamSession) harvest() {
+	s.colMu.Lock()
+	batch := s.colBuf
+	s.colBuf = s.colScratch[:0]
+	s.colMu.Unlock()
+	if len(batch) == 0 {
+		s.colScratch = batch
+		return
 	}
+	for i := range batch {
+		s.absorb(batch[i])
+		batch[i] = sessShardResult{}
+	}
+	s.colScratch = batch[:0]
 }
 
-// settle dispatches everything queued and waits for every in-flight
-// shard. Blocking on results cannot deadlock: a non-empty queue with a
-// full jobs channel means workers are busy producing results.
+// settle waits until every dispatched shard has been collected, then
+// absorbs the lot — the full barrier Drain and Close rely on. Waiting
+// cannot deadlock: workers drain the jobs ring and the collector drains
+// the results ring unconditionally, so every dispatched component's
+// result reaches collected.
 func (s *streamSession) settle() {
-	for len(s.queue) > 0 || s.collected < s.dispatched {
-		if len(s.queue) > 0 {
-			select {
-			case s.jobs <- s.queue[0]:
-				s.queue = s.queue[1:]
-				s.dispatched++
-				continue
-			default:
-			}
-		}
-		s.absorb(<-s.results)
+	s.colMu.Lock()
+	for s.collected < s.dispatched {
+		s.colReady.Wait()
 	}
+	s.colMu.Unlock()
+	s.harvest()
 }
 
-// absorb folds one shard result into the session aggregates.
+// absorb folds one shard result into the session aggregates. Runs on
+// stage 1 only (via harvest/settle), so the comps map and aggregates
+// stay single-owner.
 func (s *streamSession) absorb(r sessShardResult) {
-	s.collected++
 	s.pendingActs -= r.comp.size
 	s.uncounted += int(r.rstats.Delivered)
 	addRankerStats(&s.rstats, r.rstats)
@@ -883,16 +962,6 @@ func (s *streamSession) absorb(r sessShardResult) {
 	}
 	if s.comps[r.comp.root] == r.comp {
 		delete(s.comps, r.comp.root)
-	}
-	if s.continuous {
-		// Tombstoned at seal; schedule the flow-bookkeeping prune one
-		// component-horizon from now, so late-link detection stays alive
-		// exactly as long as the liveness bounds admit stragglers.
-		lag := s.compHorizon(r.comp)
-		if lag <= 0 {
-			lag = s.maxHorizon
-		}
-		s.inc.SchedulePrune(r.comp.root, s.maxTs+lag)
 	}
 }
 
@@ -992,6 +1061,29 @@ func (s *streamSession) Drain() int {
 	return n
 }
 
+// Tick implements sessionImpl: the pipelined, non-blocking Drain. It
+// makes the same deterministic seal decisions (sealStale at the same
+// event-stream point with the same maxTs) but absorbs only the shards
+// the pool has already finished instead of waiting for the in-flight
+// ones — the caller keeps pushing while workers chew. Emission stays
+// safe: a sealed-but-in-flight component is still in the comps map, so
+// its earliest timestamp bounds the watermark and nothing that could
+// precede its graphs is released. The final output is byte-identical to
+// a Drain cadence; only the moment each graph is released shifts later.
+func (s *streamSession) Tick() int {
+	start := time.Now()
+	s.sealStale()
+	s.harvest()
+	if s.continuous {
+		s.inc.PruneBefore(s.maxTs)
+	}
+	s.emit(false)
+	s.workTime += time.Since(start)
+	n := s.uncounted
+	s.uncounted = 0
+	return n
+}
+
 // Close implements sessionImpl.
 func (s *streamSession) Close() *Result {
 	if s.closed {
@@ -1003,8 +1095,11 @@ func (s *streamSession) Close() *Result {
 	}
 	s.sealCompleted()
 	s.settle()
-	close(s.jobs)
+	s.jobs.Close()
 	s.wg.Wait()
+	s.results.Close()
+	s.colWG.Wait()
+	s.harvest()
 	s.emit(true)
 	s.workTime += time.Since(start)
 	s.closed = true

@@ -1,0 +1,98 @@
+package ring
+
+import "testing"
+
+// FuzzRingModel drives a ring of fuzzer-chosen capacity with a
+// fuzzer-chosen sequence of non-blocking operations and checks every
+// step against a plain slice model of a bounded FIFO queue. This is the
+// wraparound/capacity edge hunter: head wrap at odd capacities, batches
+// that straddle the wrap point, fill-to-exactly-full, drain-to-empty,
+// and operations after Close all fall out of the op stream.
+func FuzzRingModel(f *testing.F) {
+	f.Add(uint8(1), []byte{0, 0, 1, 1})
+	f.Add(uint8(3), []byte{0, 0, 0, 0, 1, 2, 3, 0, 1})
+	f.Add(uint8(7), []byte{2, 40, 3, 20, 2, 200, 3, 255, 4, 0, 1})
+	f.Add(uint8(16), []byte{2, 255, 3, 9, 2, 8, 3, 255, 2, 3})
+	f.Fuzz(func(t *testing.T, capByte uint8, ops []byte) {
+		capacity := int(capByte%16) + 1
+		r := New[int](capacity)
+		var model []int
+		next := 0
+		closed := false
+		i := 0
+		arg := func() int { // consume one operand byte, default 1
+			i++
+			if i < len(ops) {
+				return int(ops[i]) % (2*capacity + 2)
+			}
+			return 1
+		}
+		for ; i < len(ops); i++ {
+			switch ops[i] % 5 {
+			case 0: // TryPush
+				ok := r.TryPush(next)
+				wantOK := !closed && len(model) < capacity
+				if ok != wantOK {
+					t.Fatalf("op %d: TryPush ok=%v, model says %v (len=%d cap=%d closed=%v)", i, ok, wantOK, len(model), capacity, closed)
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // TryPop
+				v, ok := r.TryPop()
+				if ok != (len(model) > 0) {
+					t.Fatalf("op %d: TryPop ok=%v with model len %d", i, ok, len(model))
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("op %d: TryPop = %d, model head %d", i, v, model[0])
+					}
+					model = model[1:]
+				}
+			case 2: // TryPushBatch of operand-sized run
+				n := arg()
+				batch := make([]int, n)
+				for j := range batch {
+					batch[j] = next + j
+				}
+				got := r.TryPushBatch(batch)
+				want := capacity - len(model)
+				if closed {
+					want = 0
+				}
+				if want > n {
+					want = n
+				}
+				if got != want {
+					t.Fatalf("op %d: TryPushBatch(%d) = %d, model says %d", i, n, got, want)
+				}
+				model = append(model, batch[:got]...)
+				next += got
+			case 3: // TryPopBatch into operand-sized buffer
+				n := arg()
+				buf := make([]int, n)
+				got := r.TryPopBatch(buf)
+				want := len(model)
+				if want > n {
+					want = n
+				}
+				if got != want {
+					t.Fatalf("op %d: TryPopBatch(%d) = %d, model says %d", i, n, got, want)
+				}
+				for j := 0; j < got; j++ {
+					if buf[j] != model[j] {
+						t.Fatalf("op %d: TryPopBatch item %d = %d, model %d", i, j, buf[j], model[j])
+					}
+				}
+				model = model[got:]
+			default: // Close (idempotent; keeps draining)
+				r.Close()
+				closed = true
+			}
+			if got := r.Len(); got != len(model) {
+				t.Fatalf("op %d: Len = %d, model %d", i, got, len(model))
+			}
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package ring provides the bounded FIFO ring buffer that connects the
+// streaming engine's pipeline stages: a fixed-capacity queue with
+// blocking and non-blocking operations whose batch variants move a whole
+// run of items under one lock acquisition.
+//
+// That amortization is the point. A Go channel pays its synchronization
+// per element — one lock/unlock (and often a goroutine wakeup) per send
+// and per receive. A pipeline stage that produces or consumes items in
+// runs can instead pay once per run: PushBatch and PopBatch acquire the
+// lock once and move as many items as capacity allows, so the handoff
+// cost per item shrinks with the run length (see BenchmarkRing for the
+// crossover against channels).
+//
+// PopBatch is deliberately adaptive: it blocks only until at least one
+// item is available and then takes whatever is there, up to the caller's
+// buffer. Batches therefore form only under backlog — a lightly loaded
+// ring degenerates to per-item handoff with channel-like latency, never
+// holding an item hostage waiting for a batch to fill.
+//
+// Close semantics mirror closed channels: pushes are refused, pops drain
+// the remaining items and then report exhaustion (a zero count, or
+// ok=false). All methods are safe for any number of concurrent pushers
+// and poppers; items pushed by one goroutine are popped in push order,
+// and each popper sees any single pusher's items as an ordered
+// subsequence (batches are taken contiguously in FIFO order).
+//
+// The package is dependency-free (sync only) by design — it sits under
+// the innermost hot path of internal/core.
+package ring
+
+import "sync"
+
+// Ring is a bounded multi-producer multi-consumer FIFO buffer.
+// The zero value is not usable; call New.
+type Ring[T any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond // signaled when items arrive or the ring closes
+	notFull  sync.Cond // signaled when space frees or the ring closes
+	buf      []T
+	head     int // index of the oldest element
+	n        int // elements currently buffered
+	closed   bool
+}
+
+// New returns an empty ring holding at most capacity items.
+// It panics if capacity is less than 1.
+func New[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		panic("ring: capacity must be >= 1")
+	}
+	r := &Ring[T]{buf: make([]T, capacity)}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of items currently buffered.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	n := r.n
+	r.mu.Unlock()
+	return n
+}
+
+// put appends v; the caller holds r.mu and has checked for space.
+func (r *Ring[T]) put(v T) {
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
+	r.n++
+}
+
+// take removes and returns the oldest item; the caller holds r.mu and
+// has checked it exists. The vacated slot is zeroed so the ring never
+// pins popped items against the garbage collector.
+func (r *Ring[T]) take() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return v
+}
+
+// Push appends one item, blocking while the ring is full. It reports
+// whether the item was accepted — false means the ring was closed.
+func (r *Ring[T]) Push(v T) bool {
+	r.mu.Lock()
+	for r.n == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.put(v)
+	r.notEmpty.Signal()
+	r.mu.Unlock()
+	return true
+}
+
+// TryPush appends one item without blocking. It reports whether the
+// item was accepted — false means the ring was full or closed.
+func (r *Ring[T]) TryPush(v T) bool {
+	r.mu.Lock()
+	if r.closed || r.n == len(r.buf) {
+		r.mu.Unlock()
+		return false
+	}
+	r.put(v)
+	r.notEmpty.Signal()
+	r.mu.Unlock()
+	return true
+}
+
+// PushBatch appends the items in order, blocking for space as needed;
+// each time space frees it moves the longest possible run under the one
+// lock acquisition (a batch longer than the capacity is pushed in
+// capacity-sized runs). It returns how many items were accepted — fewer
+// than len(vs) only if the ring was closed mid-batch.
+func (r *Ring[T]) PushBatch(vs []T) int {
+	pushed := 0
+	r.mu.Lock()
+	for pushed < len(vs) {
+		for r.n == len(r.buf) && !r.closed {
+			r.notFull.Wait()
+		}
+		if r.closed {
+			break
+		}
+		run := len(r.buf) - r.n
+		if rest := len(vs) - pushed; run > rest {
+			run = rest
+		}
+		for _, v := range vs[pushed : pushed+run] {
+			r.put(v)
+		}
+		pushed += run
+		r.notEmpty.Broadcast()
+	}
+	r.mu.Unlock()
+	return pushed
+}
+
+// TryPushBatch appends as many leading items as fit without blocking
+// and returns the count (0 when full or closed).
+func (r *Ring[T]) TryPushBatch(vs []T) int {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0
+	}
+	run := len(r.buf) - r.n
+	if run > len(vs) {
+		run = len(vs)
+	}
+	for _, v := range vs[:run] {
+		r.put(v)
+	}
+	if run > 0 {
+		r.notEmpty.Broadcast()
+	}
+	r.mu.Unlock()
+	return run
+}
+
+// Pop removes the oldest item, blocking while the ring is empty. ok is
+// false only when the ring is closed and fully drained.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.n == 0 {
+		r.mu.Unlock()
+		return v, false
+	}
+	v = r.take()
+	r.notFull.Signal()
+	r.mu.Unlock()
+	return v, true
+}
+
+// TryPop removes the oldest item without blocking; ok is false when the
+// ring is empty.
+func (r *Ring[T]) TryPop() (v T, ok bool) {
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return v, false
+	}
+	v = r.take()
+	r.notFull.Signal()
+	r.mu.Unlock()
+	return v, true
+}
+
+// PopBatch blocks until at least one item is available, then moves as
+// many as are buffered — up to len(dst) — into dst under the one lock
+// acquisition, returning the count. A zero count means the ring is
+// closed and fully drained (or dst is empty).
+func (r *Ring[T]) PopBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	n := r.n
+	if n == 0 {
+		r.mu.Unlock()
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.take()
+	}
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+	return n
+}
+
+// TryPopBatch moves up to len(dst) buffered items into dst without
+// blocking and returns the count (0 when empty).
+func (r *Ring[T]) TryPopBatch(dst []T) int {
+	r.mu.Lock()
+	n := r.n
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.take()
+	}
+	if n > 0 {
+		r.notFull.Broadcast()
+	}
+	r.mu.Unlock()
+	return n
+}
+
+// Close marks the ring closed: further pushes are refused, pops drain
+// what remains and then report exhaustion, and every blocked operation
+// wakes. Closing twice is a no-op.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.notEmpty.Broadcast()
+		r.notFull.Broadcast()
+	}
+	r.mu.Unlock()
+}
